@@ -1,0 +1,322 @@
+(* Command-line interface to the Sekitei planner.
+
+   Subcommands:
+     plan      - plan a built-in evaluation scenario or a DSL spec file
+     validate  - check a DSL spec file for well-formedness
+     table1 / table2 / figure - regenerate the paper's exhibits
+     topology  - generate topologies and export DOT *)
+
+open Cmdliner
+module Topology = Sekitei_network.Topology
+module Generators = Sekitei_network.Generators
+module Dot = Sekitei_network.Dot
+module Model = Sekitei_spec.Model
+module Validate = Sekitei_spec.Validate
+module Dsl = Sekitei_spec.Dsl
+module Planner = Sekitei_core.Planner
+module Plan = Sekitei_core.Plan
+module Compile = Sekitei_core.Compile
+module Replay = Sekitei_core.Replay
+module Media = Sekitei_domains.Media
+module Scenarios = Sekitei_harness.Scenarios
+module Table2 = Sekitei_harness.Table2
+module Figures = Sekitei_harness.Figures
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let network_arg =
+  let doc = "Built-in evaluation network: tiny, small or large." in
+  Arg.(value & opt (enum [ ("tiny", `Tiny); ("small", `Small); ("large", `Large) ]) `Tiny
+       & info [ "network"; "n" ] ~docv:"NET" ~doc)
+
+let levels_arg =
+  let doc = "Resource-level scenario (Table 1): A, B, C, D or E." in
+  let scenarios =
+    List.map (fun s -> (Media.scenario_name s, s)) Media.all_scenarios
+  in
+  Arg.(value & opt (enum scenarios) Media.C & info [ "levels"; "l" ] ~docv:"LVL" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for the large network generator." in
+  Arg.(value & opt int64 0xC0FFEEL & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let spec_arg =
+  let doc = "Plan a CPP specification file (DSL) instead of a built-in scenario." in
+  Arg.(value & opt (some file) None & info [ "spec"; "s" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Log planner phase progress to stderr." in
+  Arg.(value & flag & info [ "verbose"; "v" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let audit_arg =
+  let doc = "Print a deployment audit (link/node utilization, streams)." in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
+let suggest_arg =
+  let doc = "Derive resource levels automatically from demands and supplies \
+             instead of a Table 1 scenario." in
+  Arg.(value & flag & info [ "suggest-levels" ] ~doc)
+
+let deployment_dot_arg =
+  let doc = "Write the solved deployment as Graphviz DOT to this file." in
+  Arg.(value & opt (some string) None & info [ "deployment-dot" ] ~docv:"FILE" ~doc)
+
+let rg_budget_arg =
+  let doc = "Maximum RG search expansions." in
+  Arg.(value & opt int Planner.default_config.Planner.rg_max_expansions
+       & info [ "rg-budget" ] ~docv:"N" ~doc)
+
+let slrg_budget_arg =
+  let doc = "SLRG set-node budget per heuristic query." in
+  Arg.(value & opt int Planner.default_config.Planner.slrg_query_budget
+       & info [ "slrg-budget" ] ~docv:"N" ~doc)
+
+let scenario_of = function
+  | `Tiny -> Scenarios.tiny ()
+  | `Small -> Scenarios.small ()
+  | `Large -> Scenarios.large ()
+
+let config_of rg slrg =
+  { Planner.default_config with
+    Planner.rg_max_expansions = rg;
+    slrg_query_budget = slrg }
+
+(* ------------------------------------------------------------------ *)
+(* plan                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let report_outcome ?dot_file ?(audit = false) pb (outcome : Planner.outcome) =
+  (match (audit, outcome.Planner.result) with
+  | true, Ok p -> (
+      match Sekitei_core.Audit.of_plan pb p with
+      | Ok a -> print_string (Sekitei_core.Audit.to_string pb a)
+      | Error e -> Format.printf "audit failed: %s@." e)
+  | _ -> ());
+  (match (dot_file, outcome.Planner.result) with
+  | Some file, Ok p ->
+      Sekitei_core.Deployment_dot.write_file pb p file;
+      Format.printf "deployment graph written to %s@." file
+  | _ -> ());
+  (match outcome.Planner.result with
+  | Ok p ->
+      Format.printf "Plan (%d actions, cost bound %g, realized cost %g):@."
+        (Plan.length p) p.Plan.cost_lb p.Plan.metrics.Replay.realized_cost;
+      Format.printf "%s@." (Plan.to_string pb p);
+      let m = p.Plan.metrics in
+      Format.printf "LAN peak %g, WAN peak %g; delivered:@." m.Replay.lan_peak
+        m.Replay.wan_peak;
+      List.iter
+        (fun (i, n, v) ->
+          Format.printf "  %s at %s: %g@."
+            pb.Sekitei_core.Problem.ifaces.(i).Model.iface_name
+            (Topology.get_node pb.Sekitei_core.Problem.topo n).Topology.node_name
+            v)
+        m.Replay.delivered
+  | Error r -> Format.printf "No plan: %a@." Planner.pp_failure_reason r);
+  Format.printf "Stats: %a@." Planner.pp_stats outcome.Planner.stats;
+  match outcome.Planner.result with Ok _ -> 0 | Error _ -> 1
+
+let plan_cmd =
+  let run spec network levels seed rg slrg dot_file audit suggest verbose =
+    setup_logs verbose;
+    let config = config_of rg slrg in
+    match spec with
+    | Some file -> (
+        match Dsl.load_file file with
+        | exception Dsl.Dsl_error msg ->
+            Format.eprintf "spec error: %s@." msg;
+            2
+        | doc -> (
+            match doc.Dsl.topo with
+            | None ->
+                Format.eprintf "spec file has no network block@.";
+                2
+            | Some topo ->
+                let leveling =
+                  if suggest then Sekitei_spec.Leveling.suggest doc.Dsl.app
+                  else doc.Dsl.leveling
+                in
+                let pb = Compile.compile topo doc.Dsl.app leveling in
+                report_outcome ?dot_file ~audit pb
+                  (Planner.solve ~config topo doc.Dsl.app leveling)))
+    | None ->
+        let sc =
+          match network with
+          | `Large -> Scenarios.large ~seed ()
+          | other -> scenario_of other
+        in
+        let leveling =
+          if suggest then Sekitei_spec.Leveling.suggest sc.Scenarios.app
+          else Media.leveling levels sc.Scenarios.app
+        in
+        let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
+        Format.printf "Planning %s with %s...@." sc.Scenarios.name
+          (if suggest then "suggested levels"
+           else "level scenario " ^ Media.scenario_name levels);
+        report_outcome ?dot_file ~audit pb
+          (Planner.solve ~config sc.Scenarios.topo sc.Scenarios.app leveling)
+  in
+  let term =
+    Term.(
+      const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
+      $ slrg_budget_arg $ deployment_dot_arg $ audit_arg $ suggest_arg
+      $ verbose_arg)
+  in
+  Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
+
+(* ------------------------------------------------------------------ *)
+(* validate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let validate_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"DSL file")
+  in
+  let run file =
+    match Dsl.load_file file with
+    | exception Dsl.Dsl_error msg ->
+        Format.eprintf "parse error: %s@." msg;
+        2
+    | doc -> (
+        match doc.Dsl.topo with
+        | None ->
+            Format.printf "parsed OK (no network block; skipping deep checks)@.";
+            0
+        | Some topo -> (
+            match Validate.check topo doc.Dsl.app with
+            | [] ->
+                Format.printf "specification is valid@.";
+                0
+            | issues ->
+                List.iter (fun i -> Format.printf "%a@." Validate.pp_issue i) issues;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"Check a CPP specification file")
+    Term.(const run $ file)
+
+(* ------------------------------------------------------------------ *)
+(* exhibits                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the paper's Table 1 (level scenarios)")
+    Term.(
+      const (fun () ->
+          print_string (Figures.table1 ());
+          0)
+      $ const ())
+
+let table2_cmd =
+  let networks_arg =
+    let doc = "Comma-separated networks to include (tiny,small,large)." in
+    Arg.(value & opt (list (enum [ ("tiny", `Tiny); ("small", `Small); ("large", `Large) ]))
+           [ `Tiny; `Small; `Large ]
+         & info [ "networks" ] ~docv:"NETS" ~doc)
+  in
+  let csv_arg =
+    let doc = "Also write the rows as CSV to this file." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+  in
+  let run networks rg slrg csv =
+    let config = config_of rg slrg in
+    let rows = Table2.run ~config ~networks:(List.map scenario_of networks) () in
+    print_string (Table2.render rows);
+    (match csv with
+    | Some file ->
+        Sekitei_harness.Csv_export.write_table2 rows file;
+        Format.printf "rows written to %s@." file
+    | None -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Regenerate the paper's Table 2 (scalability)")
+    Term.(const run $ networks_arg $ rg_budget_arg $ slrg_budget_arg $ csv_arg)
+
+let figure_cmd =
+  let which =
+    Arg.(required
+         & pos 0
+             (some (enum
+                [ ("3", `F3); ("4", `F3); ("5", `F5); ("9", `F9); ("10", `F10);
+                  ("ablation", `Ablation) ]))
+             None
+         & info [] ~docv:"FIGURE" ~doc:"3, 4, 5, 9, 10 or 'ablation'")
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Include DOT output (figure 10)")
+  in
+  let run which dot =
+    (match which with
+    | `F3 -> print_string (Figures.fig3_4 ())
+    | `F5 -> print_string (Figures.fig5 ())
+    | `F9 -> print_string (Figures.fig9 ())
+    | `F10 -> print_string (Figures.fig10 ~dot ())
+    | `Ablation -> print_string (Figures.postprocess_ablation ()));
+    0
+  in
+  Cmd.v
+    (Cmd.info "figure" ~doc:"Regenerate a figure of the paper")
+    Term.(const run $ which $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* topology                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let topology_cmd =
+  let kind =
+    Arg.(value
+         & opt (enum
+             [ ("line", `Line); ("ring", `Ring); ("star", `Star); ("grid", `Grid);
+               ("transit-stub", `Ts) ])
+             `Ts
+         & info [ "kind"; "k" ] ~docv:"KIND" ~doc:"Generator kind")
+  in
+  let size =
+    Arg.(value & opt int 10 & info [ "size" ] ~docv:"N" ~doc:"Node count parameter")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write DOT here instead of stdout")
+  in
+  let run kind size seed out =
+    let rng = Sekitei_util.Prng.create ~seed in
+    let topo =
+      match kind with
+      | `Line -> Generators.line size
+      | `Ring -> Generators.ring size
+      | `Star -> Generators.star size
+      | `Grid -> Generators.grid size size
+      | `Ts ->
+          Generators.transit_stub ~rng ~transit:3 ~stubs_per_transit:3
+            ~stub_size:(max 1 (size / 9)) ()
+    in
+    let dot = Dot.to_dot topo in
+    (match out with
+    | Some file ->
+        Dot.write_file topo file;
+        Format.printf "wrote %s (%d nodes, %d links)@." file
+          (Topology.node_count topo) (Topology.link_count topo)
+    | None -> print_string dot);
+    0
+  in
+  Cmd.v
+    (Cmd.info "topology" ~doc:"Generate a synthetic topology (DOT)")
+    Term.(const run $ kind $ size $ seed_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+
+let main =
+  Cmd.group
+    (Cmd.info "sekitei" ~version:"1.0.0"
+       ~doc:"Resource-aware deployment planning for component-based applications")
+    [ plan_cmd; validate_cmd; table1_cmd; table2_cmd; figure_cmd; topology_cmd ]
+
+let () = exit (Cmd.eval' main)

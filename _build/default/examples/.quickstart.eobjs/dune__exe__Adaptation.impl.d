@@ -1,0 +1,1 @@
+examples/adaptation.ml: Array Format Sekitei_core Sekitei_domains Sekitei_harness Sekitei_network

@@ -1,0 +1,1 @@
+examples/cost_tradeoff.ml: Format List Sekitei_core Sekitei_domains String

@@ -1,0 +1,1 @@
+examples/custom_spec.ml: Format Option Sekitei_core Sekitei_spec String

@@ -1,0 +1,1 @@
+examples/grid_workflow.ml: Format List Sekitei_core Sekitei_domains String

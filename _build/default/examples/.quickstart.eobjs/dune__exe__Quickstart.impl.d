@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Sekitei_core Sekitei_domains Sekitei_network

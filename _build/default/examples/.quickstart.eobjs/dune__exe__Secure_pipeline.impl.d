@@ -1,0 +1,1 @@
+examples/secure_pipeline.ml: Format List Sekitei_core Sekitei_domains String

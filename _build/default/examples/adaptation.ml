@@ -1,0 +1,72 @@
+(* Adapting an existing deployment to a changed environment.
+
+   The paper's future work (section 6) proposes repairing deployments
+   with migration operators whose cost differs from initial placement.
+   The Redeploy module implements this through per-placement cost
+   adjustments: keeping a component where it already runs is discounted,
+   moving a component type to another node pays a migration surcharge.
+
+   This example deploys the media application on the Small network, then
+   adapts it to two events: a WAN degradation the current placement
+   survives (everything kept), and a CPU failure at the server node that
+   forces the Splitter/Zip pair to migrate one hop downstream.
+
+   Run with: dune exec examples/adaptation.exe *)
+
+module Topology = Sekitei_network.Topology
+module Media = Sekitei_domains.Media
+module Scenarios = Sekitei_harness.Scenarios
+module Planner = Sekitei_core.Planner
+module Compile = Sekitei_core.Compile
+module Plan = Sekitei_core.Plan
+module Redeploy = Sekitei_core.Redeploy
+
+module Mutate = Sekitei_network.Mutate
+
+let degrade_wan topo new_bw =
+  Array.fold_left
+    (fun acc (l : Topology.link) ->
+      match l.Topology.kind with
+      | Topology.Wan -> Mutate.set_link_resource acc l.Topology.link_id "lbw" new_bw
+      | Topology.Lan -> acc)
+    topo (Topology.links topo)
+
+let cripple_node topo node new_cpu =
+  Mutate.set_node_resource topo node "cpu" new_cpu
+
+let () =
+  let sc = Scenarios.small () in
+  let leveling = Media.leveling Media.D sc.Scenarios.app in
+  let pb0 = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
+  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  | Error r -> Format.printf "initial planning failed: %a@." Planner.pp_failure_reason r
+  | Ok p0 ->
+      Format.printf "Initial deployment (%d actions, cost bound %g):@.%s@.@."
+        (Plan.length p0) p0.Plan.cost_lb (Plan.to_string pb0 p0);
+      let previous = Plan.placements pb0 p0 in
+      (* Adaptation decisions are interactive: cap the search so that
+         infeasible environments are reported within seconds. *)
+      let config =
+        { Planner.default_config with Planner.rg_max_expansions = 50_000 }
+      in
+      let adapt label topo =
+        Format.printf "--- %s ---@." label;
+        let outcome =
+          Redeploy.replan ~config ~previous topo sc.Scenarios.app leveling
+        in
+        (match outcome.Planner.result with
+        | Ok p ->
+            let pb = Compile.compile topo sc.Scenarios.app leveling in
+            Format.printf "adapted plan (%d actions, adjusted cost bound %g)@."
+              (Plan.length p) p.Plan.cost_lb;
+            Format.printf "%a@." Redeploy.pp_diff (Redeploy.diff ~previous pb p)
+        | Error r ->
+            Format.printf "no feasible adaptation: %a@." Planner.pp_failure_reason r);
+        Format.printf "@."
+      in
+      adapt "WAN degrades 70 -> 66 (placement survives)"
+        (degrade_wan sc.Scenarios.topo 66.);
+      adapt "server node n4 CPU drops to 5 (Splitter/Zip must migrate)"
+        (cripple_node sc.Scenarios.topo 4 5.);
+      adapt "WAN degrades 70 -> 40 (no adaptation possible)"
+        (degrade_wan sc.Scenarios.topo 40.)

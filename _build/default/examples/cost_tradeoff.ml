@@ -1,0 +1,39 @@
+(* The Figure 5 cost tradeoff: longer network paths vs extra computation.
+
+   A 100-unit text stream can reach the client over three wide links
+   (no processing) or over two narrow links with Zip/Unzip components at
+   each end.  Sweeping the relative price of link bandwidth against node
+   computation shows the planner flipping between the two deployments at
+   the crossover point - the paper's argument for cost-function-driven
+   planning.
+
+   Run with: dune exec examples/cost_tradeoff.exe *)
+
+module Chain = Sekitei_domains.Chain
+module Planner = Sekitei_core.Planner
+module Compile = Sekitei_core.Compile
+module Plan = Sekitei_core.Plan
+
+let () =
+  let topo = Chain.topology () in
+  Format.printf
+    "Routes from server n0 to client n3:@.  wide:   n0 -150- n1 -150- n2 \
+     -150- n3 (3 crossings)@.  narrow: n0 -60- n4 -60- n3 (2 crossings, \
+     needs Zip/Unzip)@.@.";
+  Format.printf "%-18s %-10s %-12s %s@." "link-cost weight" "actions"
+    "cost bound" "route chosen";
+  List.iter
+    (fun alpha ->
+      let app = Chain.app ~cross_weight:alpha () in
+      let leveling = Chain.leveling app in
+      let pb = Compile.compile topo app leveling in
+      match (Planner.solve topo app leveling).Planner.result with
+      | Ok p ->
+          let zip =
+            List.exists (fun (n, _) -> String.equal n "Zip") (Plan.placements pb p)
+          in
+          Format.printf "%-18g %-10d %-12g %s@." alpha (Plan.length p)
+            p.Plan.cost_lb
+            (if zip then "narrow + Zip/Unzip" else "wide, no processing")
+      | Error r -> Format.printf "%-18g no plan (%a)@." alpha Planner.pp_failure_reason r)
+    [ 0.25; 0.5; 0.75; 1.0; 1.05; 1.1; 1.25; 1.5; 2.0; 4.0 ]

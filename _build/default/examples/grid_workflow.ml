@@ -1,0 +1,39 @@
+(* Grid workflow deployment with a latency deadline.
+
+   The gridflow domain models a Pegasus-style task graph: a storage
+   service streams a dataset F; an Analyze task reduces it 4:1 into a
+   result stream R; the consumer needs 20 units of R within a latency
+   deadline.  Links carry both bandwidth and latency, and the middle link
+   is narrow (30 units) - the planner must decide where to run Analyze
+   (and whether to compress F) so that both the bandwidth and the
+   accumulated latency constraints hold.
+
+   Run with: dune exec examples/grid_workflow.exe *)
+
+module Gridflow = Sekitei_domains.Gridflow
+module Planner = Sekitei_core.Planner
+module Compile = Sekitei_core.Compile
+module Plan = Sekitei_core.Plan
+
+let () =
+  let topo =
+    Gridflow.topology ~link_lats:[ 5.; 5.; 5. ] ~bws:[ 150.; 30.; 150. ]
+  in
+  Format.printf
+    "Line network n0..n3; middle link only 30 bandwidth units; each link \
+     adds 5 latency units.@.Storage at n0 streams 120 units of F; consumer \
+     at n3 needs R = F/4 >= 20 within the deadline.@.@.";
+  List.iter
+    (fun deadline ->
+      let app = Gridflow.app ~deadline ~storage:0 ~consumer:3 () in
+      let leveling = Gridflow.leveling app in
+      let pb = Compile.compile topo app leveling in
+      Format.printf "deadline %g: " deadline;
+      match (Planner.solve topo app leveling).Planner.result with
+      | Ok p ->
+          Format.printf "%d-action plan (cost bound %g)@.  %s@." (Plan.length p)
+            p.Plan.cost_lb
+            (String.concat "; "
+               (String.split_on_char '\n' (Plan.to_string pb p)))
+      | Error r -> Format.printf "no plan (%a)@." Planner.pp_failure_reason r)
+    [ 60.; 40.; 25.; 10. ]

@@ -1,0 +1,49 @@
+(* Qualitative constraints: deploying a web-service pipeline across
+   partially trusted networks.
+
+   The backend's plaintext response stream P may only cross links marked
+   secure; an Encryptor/Decryptor pair (25% bandwidth overhead, CPU cost)
+   lets it traverse untrusted segments.  The planner brackets exactly the
+   untrusted portion of the path - or goes direct when everything is
+   trusted.
+
+   Run with: dune exec examples/secure_pipeline.exe *)
+
+module Webservice = Sekitei_domains.Webservice
+module Planner = Sekitei_core.Planner
+module Compile = Sekitei_core.Compile
+module Plan = Sekitei_core.Plan
+module Deployment_dot = Sekitei_core.Deployment_dot
+
+let describe secure =
+  let topo = Webservice.topology ~secure in
+  let app = Webservice.app ~backend:0 ~consumer:(List.length secure) () in
+  let leveling = Webservice.leveling app in
+  let pb = Compile.compile topo app leveling in
+  Format.printf "links [%s]: "
+    (String.concat "; "
+       (List.map (fun s -> if s = 1 then "secure" else "open") secure));
+  match (Planner.solve topo app leveling).Planner.result with
+  | Ok p ->
+      Format.printf "%d actions, cost bound %g@.  %s@.@." (Plan.length p)
+        p.Plan.cost_lb
+        (String.concat "; " (String.split_on_char '\n' (Plan.to_string pb p)))
+  | Error r -> Format.printf "no plan (%a)@.@." Planner.pp_failure_reason r
+
+let () =
+  Format.printf
+    "Backend on n0 streams 80 units of plaintext P; consumer on n3 needs 40.@.\
+     P may only cross secure links; PE (encrypted, +25%% size) crosses \
+     anything.@.@.";
+  List.iter describe [ [ 1; 1; 1 ]; [ 1; 0; 1 ]; [ 0; 0; 0 ]; [ 0; 1; 0 ] ];
+  (* Render the bracketed deployment as DOT for documentation. *)
+  let secure = [ 1; 0; 1 ] in
+  let topo = Webservice.topology ~secure in
+  let app = Webservice.app ~backend:0 ~consumer:3 () in
+  let leveling = Webservice.leveling app in
+  let pb = Compile.compile topo app leveling in
+  match (Planner.solve topo app leveling).Planner.result with
+  | Ok p ->
+      Format.printf "DOT rendering of the bracketed deployment:@.%s@."
+        (Deployment_dot.render pb p)
+  | Error _ -> ()

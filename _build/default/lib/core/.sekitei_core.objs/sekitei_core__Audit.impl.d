@@ -1,0 +1,1 @@
+lib/core/audit.ml: Array Buffer Float Format List Plan Printf Problem Replay Sekitei_network Sekitei_spec Sekitei_util

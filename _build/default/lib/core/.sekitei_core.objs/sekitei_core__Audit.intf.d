@@ -1,0 +1,1 @@
+lib/core/audit.mli: Plan Problem Sekitei_network

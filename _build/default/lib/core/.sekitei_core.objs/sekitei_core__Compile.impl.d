@@ -1,0 +1,1 @@
+lib/core/compile.ml: Action Array Float Fun Hashtbl List Option Printf Problem Prop Sekitei_expr Sekitei_network Sekitei_spec Sekitei_util String

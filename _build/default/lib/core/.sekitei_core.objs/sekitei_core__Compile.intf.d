@@ -1,0 +1,1 @@
+lib/core/compile.mli: Problem Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+lib/core/deployment_dot.ml: Buffer Fun List Plan Printf Problem Sekitei_network Sekitei_spec String

@@ -1,0 +1,1 @@
+lib/core/deployment_dot.mli: Plan Problem

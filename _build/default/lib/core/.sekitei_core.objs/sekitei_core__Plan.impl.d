@@ -1,0 +1,1 @@
+lib/core/plan.ml: Action Array Format List Printf Problem Replay Sekitei_network Sekitei_spec String

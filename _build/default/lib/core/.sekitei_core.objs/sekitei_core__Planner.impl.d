@@ -1,0 +1,1 @@
+lib/core/planner.ml: Array Compile Format List Logs Plan Plrg Problem Prop Replay Rg Sekitei_network Sekitei_spec Sekitei_util Slrg Stdlib String

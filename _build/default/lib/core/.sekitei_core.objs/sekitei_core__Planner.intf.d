@@ -1,0 +1,1 @@
+lib/core/planner.mli: Format Plan Sekitei_network Sekitei_spec Stdlib

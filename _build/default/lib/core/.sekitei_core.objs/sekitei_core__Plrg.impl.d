@@ -1,0 +1,1 @@
+lib/core/plrg.ml: Action Array Float List Problem Prop Queue Sekitei_util

@@ -1,0 +1,1 @@
+lib/core/plrg.mli: Problem

@@ -1,0 +1,1 @@
+lib/core/postprocess.ml: Plan Replay

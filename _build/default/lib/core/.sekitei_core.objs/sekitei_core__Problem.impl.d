@@ -1,0 +1,1 @@
+lib/core/problem.ml: Action Array Format Printf Prop Sekitei_network Sekitei_spec Sekitei_util String

@@ -1,0 +1,1 @@
+lib/core/problem.mli: Action Format Prop Sekitei_network Sekitei_spec Sekitei_util

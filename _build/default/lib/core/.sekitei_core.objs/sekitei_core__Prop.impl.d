@@ -1,0 +1,1 @@
+lib/core/prop.ml: Array

@@ -1,0 +1,1 @@
+lib/core/redeploy.ml: Format List Plan Planner Printf String

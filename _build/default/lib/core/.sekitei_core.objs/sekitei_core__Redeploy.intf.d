@@ -1,0 +1,1 @@
+lib/core/redeploy.mli: Format Plan Planner Problem Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+lib/core/replay.ml: Action Array Float Format Hashtbl List Printf Problem Sekitei_expr Sekitei_network Sekitei_spec Sekitei_util String

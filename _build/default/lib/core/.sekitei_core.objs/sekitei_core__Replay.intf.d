@@ -1,0 +1,1 @@
+lib/core/replay.mli: Action Format Problem Sekitei_util

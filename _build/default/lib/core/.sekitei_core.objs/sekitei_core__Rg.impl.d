@@ -1,0 +1,1 @@
+lib/core/rg.ml: Action Array Float Hashtbl List Plrg Problem Replay Sekitei_util Slrg

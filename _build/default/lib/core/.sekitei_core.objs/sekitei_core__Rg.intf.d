@@ -1,0 +1,1 @@
+lib/core/rg.mli: Action Plrg Problem Replay Slrg

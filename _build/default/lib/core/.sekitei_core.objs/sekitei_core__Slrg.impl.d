@@ -1,0 +1,1 @@
+lib/core/slrg.ml: Action Array Float Hashtbl List Option Plrg Problem Sekitei_util Stdlib

@@ -1,0 +1,1 @@
+lib/core/slrg.mli: Plrg Problem

@@ -1,0 +1,132 @@
+module Topology = Sekitei_network.Topology
+module Table = Sekitei_util.Ascii_table
+module Model = Sekitei_spec.Model
+
+type link_row = {
+  link : Topology.link_id;
+  kind : Topology.link_kind;
+  capacity : float;
+  used : float;
+}
+
+type node_row = {
+  node : Topology.node_id;
+  resource : string;
+  node_capacity : float;
+  node_used : float;
+}
+
+type stream_row = { iface : string; at_node : Topology.node_id; operating : float }
+
+type t = {
+  plan_length : int;
+  cost_bound : float;
+  realized_cost : float;
+  links : link_row list;
+  nodes : node_row list;
+  streams : stream_row list;
+}
+
+let of_plan (pb : Problem.t) (plan : Plan.t) =
+  match Replay.run pb ~mode:Replay.From_init plan.Plan.steps with
+  | Error f -> Error (Format.asprintf "%a" Replay.pp_failure f)
+  | Ok m ->
+      let links =
+        List.map
+          (fun (lid, used) ->
+            let l = Topology.get_link pb.Problem.topo lid in
+            {
+              link = lid;
+              kind = l.Topology.kind;
+              capacity = Problem.link_cap pb lid "lbw";
+              used;
+            })
+          m.Replay.link_used
+      in
+      let nodes =
+        List.filter_map
+          (fun (node, used) ->
+            if used > 1e-9 then
+              Some
+                {
+                  node;
+                  resource = "cpu";
+                  node_capacity = Problem.node_cap pb node "cpu";
+                  node_used = used;
+                }
+            else None)
+          m.Replay.node_cpu_used
+      in
+      let streams =
+        List.map
+          (fun (i, n, v) ->
+            {
+              iface = pb.Problem.ifaces.(i).Model.iface_name;
+              at_node = n;
+              operating = v;
+            })
+          m.Replay.delivered
+      in
+      Ok
+        {
+          plan_length = Plan.length plan;
+          cost_bound = plan.Plan.cost_lb;
+          realized_cost = m.Replay.realized_cost;
+          links;
+          nodes;
+          streams;
+        }
+
+let to_string (pb : Problem.t) t =
+  let buf = Buffer.create 1024 in
+  let node_name n = (Topology.get_node pb.Problem.topo n).Topology.node_name in
+  Buffer.add_string buf
+    (Printf.sprintf "plan: %d actions, cost bound %s, realized cost %s\n"
+       t.plan_length
+       (Table.float_cell t.cost_bound)
+       (Table.float_cell t.realized_cost));
+  if t.links <> [] then begin
+    Buffer.add_string buf "\nlink utilization:\n";
+    Buffer.add_string buf
+      (Table.render_rows
+         ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+         [ "link"; "kind"; "capacity"; "used"; "%" ]
+         (List.map
+            (fun r ->
+              let a, b = (Topology.get_link pb.Problem.topo r.link).Topology.ends in
+              [
+                Printf.sprintf "%s--%s" (node_name a) (node_name b);
+                (match r.kind with Topology.Lan -> "LAN" | Topology.Wan -> "WAN");
+                Table.float_cell r.capacity;
+                Table.float_cell r.used;
+                Printf.sprintf "%.0f%%" (100. *. r.used /. Float.max r.capacity 1e-9);
+              ])
+            t.links))
+  end;
+  if t.nodes <> [] then begin
+    Buffer.add_string buf "\nnode utilization:\n";
+    Buffer.add_string buf
+      (Table.render_rows
+         ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+         [ "node"; "resource"; "capacity"; "used" ]
+         (List.map
+            (fun r ->
+              [
+                node_name r.node;
+                r.resource;
+                Table.float_cell r.node_capacity;
+                Table.float_cell r.node_used;
+              ])
+            t.nodes))
+  end;
+  if t.streams <> [] then begin
+    Buffer.add_string buf "\nstreams:\n";
+    Buffer.add_string buf
+      (Table.render_rows
+         ~aligns:[ Table.Left; Table.Left; Table.Right ]
+         [ "stream"; "at"; "operating point" ]
+         (List.map
+            (fun r -> [ r.iface; node_name r.at_node; Table.float_cell r.operating ])
+            t.streams))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,42 @@
+(** Deployment audit: a human-readable account of what a plan does to the
+    network — per-link utilization, per-node CPU budget, per-stream
+    delivery — produced by replaying the plan from the initial state.
+
+    This is the report an operator would review before committing a
+    deployment; Table 2's "reserved LAN bw" column is one cell of it. *)
+
+type link_row = {
+  link : Sekitei_network.Topology.link_id;
+  kind : Sekitei_network.Topology.link_kind;
+  capacity : float;
+  used : float;
+}
+
+type node_row = {
+  node : Sekitei_network.Topology.node_id;
+  resource : string;
+  node_capacity : float;
+  node_used : float;
+}
+
+type stream_row = {
+  iface : string;
+  at_node : Sekitei_network.Topology.node_id;
+  operating : float;  (** delivered operating point *)
+}
+
+type t = {
+  plan_length : int;
+  cost_bound : float;
+  realized_cost : float;
+  links : link_row list;  (** only links with non-zero use *)
+  nodes : node_row list;  (** only nodes with non-zero use *)
+  streams : stream_row list;
+}
+
+(** [of_plan problem plan] replays and tabulates.  Returns [Error reason]
+    when the plan does not replay from the initial state. *)
+val of_plan : Problem.t -> Plan.t -> (t, string) result
+
+(** Render as aligned ASCII tables. *)
+val to_string : Problem.t -> t -> string

@@ -1,0 +1,37 @@
+(** Compilation of a CPP specification into leveled planning actions
+    (paper sections 2.2 and 3.1).
+
+    Grounding produces one action schema per (placeable component, node)
+    and per (interface, link, direction).  Leveling replicates each schema
+    over consistent level assignments and prunes:
+
+    - combinations whose conditions are unsatisfiable on the level
+      intervals;
+    - combinations whose best-case resource consumption already exceeds
+      static capacity (this reproduces the paper's "actions for crossing
+      the link with the M stream with levels above 1 are pruned");
+    - dominated crossings of degradable streams whose output level is
+      below their input level (the same effect is available more cheaply
+      by entering at the lower level).
+
+    [Available] goals are rewritten into synthetic zero-cost sink
+    components so the planner only ever pursues [Placed] goals. *)
+
+exception Compile_error of string
+
+(** [compile topo app leveling] builds the planning problem.
+
+    [adjust ~comp ~node] (default 0) returns an additive cost adjustment
+    applied to every placement of [comp] on [node] - the hook behind
+    {!Redeploy}'s keep-discounts and migration surcharges.  A total action
+    cost is never adjusted below zero.
+
+    @raise Compile_error on inconsistent specifications (pre-placed
+    components with requirements, violated initial conditions, negative
+    cost bounds). *)
+val compile :
+  ?adjust:(comp:string -> node:int -> float) ->
+  Sekitei_network.Topology.t ->
+  Sekitei_spec.Model.app ->
+  Sekitei_spec.Leveling.t ->
+  Problem.t

@@ -1,0 +1,38 @@
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+
+let render (pb : Problem.t) plan =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "digraph deployment {\n  rankdir=LR;\n  node [shape=box fontsize=10];\n";
+  let placements = Plan.placements pb plan in
+  let crossings = Plan.crossings pb plan in
+  (* Only nodes that participate appear; pre-placed anchors included. *)
+  let participating =
+    List.sort_uniq compare
+      (List.map snd placements
+      @ List.map snd pb.Problem.app.Model.pre_placed
+      @ List.concat_map (fun (_, a, b) -> [ a; b ]) crossings)
+  in
+  List.iter
+    (fun node ->
+      let here =
+        List.filter_map
+          (fun (c, n) -> if n = node then Some c else None)
+          (pb.Problem.app.Model.pre_placed @ placements)
+      in
+      pf "  n%d [label=\"%s\\n%s\"];\n" node
+        (Topology.get_node pb.Problem.topo node).Topology.node_name
+        (String.concat "\\n" here))
+    participating;
+  List.iter
+    (fun (iface, src, dst) -> pf "  n%d -> n%d [label=\"%s\"];\n" src dst iface)
+    crossings;
+  pf "}\n";
+  Buffer.contents buf
+
+let write_file pb plan file =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render pb plan))

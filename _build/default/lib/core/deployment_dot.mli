@@ -1,0 +1,8 @@
+(** Graphviz rendering of a deployed plan: nodes as boxes listing their
+    placed components, stream crossings as labelled directed edges (the
+    visual language of the paper's Figures 1 and 9). *)
+
+(** [render problem plan] produces a DOT digraph. *)
+val render : Problem.t -> Plan.t -> string
+
+val write_file : Problem.t -> Plan.t -> string -> unit

@@ -1,0 +1,156 @@
+let src = Logs.Src.create "sekitei.planner" ~doc:"Sekitei planner phases"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+module Timer = Sekitei_util.Timer
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+module Leveling = Sekitei_spec.Leveling
+module Validate = Sekitei_spec.Validate
+module Replay = Replay
+
+type config = {
+  slrg_query_budget : int;
+  rg_max_expansions : int;
+  validate_spec : bool;
+}
+
+let default_config =
+  { slrg_query_budget = 500; rg_max_expansions = 500_000; validate_spec = true }
+
+type failure_reason =
+  | Invalid_spec of string
+  | Unreachable_goal
+  | Resource_exhausted
+  | Search_limit
+
+type stats = {
+  total_actions : int;
+  plrg_props : int;
+  plrg_actions : int;
+  slrg_nodes : int;
+  rg_created : int;
+  rg_open_left : int;
+  rg_expanded : int;
+  replay_pruned : int;
+  final_replay_rejected : int;
+  t_total_ms : float;
+  t_search_ms : float;
+}
+
+type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
+
+let empty_stats =
+  {
+    total_actions = 0;
+    plrg_props = 0;
+    plrg_actions = 0;
+    slrg_nodes = 0;
+    rg_created = 0;
+    rg_open_left = 0;
+    rg_expanded = 0;
+    replay_pruned = 0;
+    final_replay_rejected = 0;
+    t_total_ms = 0.;
+    t_search_ms = 0.;
+  }
+
+let solve ?(config = default_config) ?adjust topo app leveling =
+  let t_total = Timer.start () in
+  let invalid msg =
+    { result = Error (Invalid_spec msg); stats = empty_stats }
+  in
+  match
+    if config.validate_spec then
+      match Validate.check topo app with
+      | [] -> Ok ()
+      | issues ->
+          Error
+            (String.concat "; "
+               (List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues))
+    else Ok ()
+  with
+  | Error msg -> invalid msg
+  | Ok () -> (
+      match Compile.compile ?adjust topo app leveling with
+      | exception Compile.Compile_error msg -> invalid msg
+      | pb ->
+          Log.info (fun m ->
+              m "compiled: %d leveled actions, %d propositions"
+                (Array.length pb.Problem.actions)
+                (Prop.count pb.Problem.props));
+          let t_search = Timer.start () in
+          let plrg = Plrg.build pb in
+          let plrg_props, plrg_actions = Plrg.stats plrg in
+          Log.info (fun m ->
+              m "PLRG: %d relevant propositions, %d relevant actions, goals %s"
+                plrg_props plrg_actions
+                (if Plrg.goals_reachable plrg then "reachable" else "UNREACHABLE"));
+          let base_stats search_ms slrg rg_stats =
+            {
+              total_actions = Array.length pb.Problem.actions;
+              plrg_props;
+              plrg_actions;
+              slrg_nodes =
+                (match slrg with Some s -> Slrg.nodes_generated s | None -> 0);
+              rg_created =
+                (match rg_stats with Some (s : Rg.stats) -> s.Rg.created | None -> 0);
+              rg_open_left =
+                (match rg_stats with Some s -> s.Rg.open_left | None -> 0);
+              rg_expanded =
+                (match rg_stats with Some s -> s.Rg.expanded | None -> 0);
+              replay_pruned =
+                (match rg_stats with Some s -> s.Rg.replay_pruned | None -> 0);
+              final_replay_rejected =
+                (match rg_stats with
+                | Some s -> s.Rg.final_replay_rejected
+                | None -> 0);
+              t_total_ms = Timer.elapsed_ms t_total;
+              t_search_ms = search_ms;
+            }
+          in
+          if not (Plrg.goals_reachable plrg) then
+            {
+              result = Error Unreachable_goal;
+              stats = base_stats (Timer.elapsed_ms t_search) None None;
+            }
+          else begin
+            let slrg = Slrg.create ~query_budget:config.slrg_query_budget pb plrg in
+            let result, rg_stats =
+              Rg.search ~max_expansions:config.rg_max_expansions pb plrg slrg
+            in
+            Log.info (fun m ->
+                m "RG: %d nodes created, %d expanded, %d pruned by replay, %d final rejections"
+                  rg_stats.Rg.created rg_stats.Rg.expanded
+                  rg_stats.Rg.replay_pruned rg_stats.Rg.final_replay_rejected);
+            let stats =
+              base_stats (Timer.elapsed_ms t_search) (Some slrg) (Some rg_stats)
+            in
+            match result with
+            | Rg.Solution (tail, metrics, cost_lb) ->
+                Log.info (fun m ->
+                    m "solution: %d actions, cost bound %g, realized %g"
+                      (List.length tail) cost_lb metrics.Replay.realized_cost);
+                {
+                  result = Ok { Plan.steps = tail; cost_lb; metrics };
+                  stats;
+                }
+            | Rg.Exhausted -> { result = Error Resource_exhausted; stats }
+            | Rg.Budget_exceeded -> { result = Error Search_limit; stats }
+          end)
+
+let solve_greedy ?config topo app = solve ?config topo app Leveling.empty
+
+let pp_failure_reason fmt = function
+  | Invalid_spec msg -> Format.fprintf fmt "invalid specification: %s" msg
+  | Unreachable_goal -> Format.pp_print_string fmt "goal logically unreachable"
+  | Resource_exhausted ->
+      Format.pp_print_string fmt "no resource-feasible plan found"
+  | Search_limit -> Format.pp_print_string fmt "search budget exceeded"
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d rejected=%d \
+     time=%.1f/%.1fms"
+    s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
+    s.rg_open_left s.rg_expanded s.replay_pruned s.final_replay_rejected
+    s.t_total_ms s.t_search_ms

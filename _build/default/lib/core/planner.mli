@@ -1,0 +1,59 @@
+(** The planner façade: validate, compile, run the three phases, report.
+
+    [solve topo app leveling] is the modified Sekitei algorithm of the
+    paper; [solve_greedy] runs it with the trivial leveling (every variable
+    one [0, inf) level), which degenerates to the original greedy Sekitei
+    (Table 1, scenario A). *)
+
+type config = {
+  slrg_query_budget : int;  (** set-node budget per SLRG query *)
+  rg_max_expansions : int;
+  validate_spec : bool;  (** run {!Sekitei_spec.Validate} first *)
+}
+
+val default_config : config
+
+type failure_reason =
+  | Invalid_spec of string
+  | Unreachable_goal
+      (** the PLRG proves the goals logically unreachable *)
+  | Resource_exhausted
+      (** goals logically reachable, but every candidate tail violates
+          resources — the scenario-A failure mode *)
+  | Search_limit  (** RG expansion budget exceeded *)
+
+type stats = {
+  total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)
+  plrg_props : int;  (** Table 2 col 6 (left) *)
+  plrg_actions : int;  (** Table 2 col 6 (right) *)
+  slrg_nodes : int;  (** Table 2 col 7 *)
+  rg_created : int;  (** Table 2 col 8 (left) *)
+  rg_open_left : int;  (** Table 2 col 8 (right) *)
+  rg_expanded : int;
+  replay_pruned : int;
+  final_replay_rejected : int;
+  t_total_ms : float;  (** Table 2 col 9 (left) *)
+  t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
+}
+
+type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
+
+(** [adjust] is forwarded to {!Compile.compile} (per-placement cost
+    adjustments, used by {!Redeploy}). *)
+val solve :
+  ?config:config ->
+  ?adjust:(comp:string -> node:int -> float) ->
+  Sekitei_network.Topology.t ->
+  Sekitei_spec.Model.app ->
+  Sekitei_spec.Leveling.t ->
+  outcome
+
+(** Original greedy Sekitei: [solve] with the empty leveling. *)
+val solve_greedy :
+  ?config:config ->
+  Sekitei_network.Topology.t ->
+  Sekitei_spec.Model.app ->
+  outcome
+
+val pp_failure_reason : Format.formatter -> failure_reason -> unit
+val pp_stats : Format.formatter -> stats -> unit

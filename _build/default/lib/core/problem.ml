@@ -1,0 +1,65 @@
+module I = Sekitei_util.Interval
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+
+type source = {
+  src_iface : int;
+  src_node : int;
+  src_interval : I.t;
+  src_secondary : (string * float) list;
+}
+
+type t = {
+  topo : Topology.t;
+  app : Model.app;
+  ifaces : Model.iface array;
+  comps : Model.component array;
+  iface_levels : I.t array array;
+  iface_tags : Model.tag array;
+  props : Prop.interner;
+  actions : Action.t array;
+  supports : int list array;
+  init : bool array;
+  init_consumed : (int * string * float) list;
+  sources : source list;
+  goal_props : int array;
+  comp_allowed_node : int option array;
+  iface_max : float array;
+}
+
+let index_of name proj arr what =
+  let rec go i =
+    if i >= Array.length arr then
+      invalid_arg (Printf.sprintf "Problem: unknown %s %s" what name)
+    else if String.equal (proj arr.(i)) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let iface_index t name =
+  index_of name (fun (i : Model.iface) -> i.iface_name) t.ifaces "interface"
+
+let comp_index t name =
+  index_of name (fun (c : Model.component) -> c.comp_name) t.comps "component"
+
+let primary t i = (Model.primary_property t.ifaces.(i)).prop_name
+
+let node_cap t node r =
+  try Topology.node_resource t.topo node r with Not_found -> 0.
+
+let link_cap t link r =
+  try Topology.link_resource t.topo link r with Not_found -> 0.
+
+let action t id = t.actions.(id)
+
+let prop_label t id =
+  match Prop.of_id t.props id with
+  | Prop.Placed (c, n) ->
+      Printf.sprintf "placed(%s,%s)" t.comps.(c).comp_name
+        (Topology.get_node t.topo n).node_name
+  | Prop.Avail (i, n, l) ->
+      Printf.sprintf "avail(%s,%s,L%d=%s)" t.ifaces.(i).iface_name
+        (Topology.get_node t.topo n).node_name l
+        (I.to_string t.iface_levels.(i).(l))
+
+let pp_prop t fmt id = Format.pp_print_string fmt (prop_label t id)

@@ -1,0 +1,54 @@
+(** A compiled CPP instance: the output of {!Compile.compile} and the input
+    of the three graph phases. *)
+
+module I = Sekitei_util.Interval
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+
+type source = {
+  src_iface : int;
+  src_node : int;
+  src_interval : I.t;  (** initially available value range, e.g. [0,200] *)
+  src_secondary : (string * float) list;
+      (** initial values of non-primary properties *)
+}
+
+type t = {
+  topo : Topology.t;
+  app : Model.app;
+  ifaces : Model.iface array;
+  comps : Model.component array;
+  iface_levels : I.t array array;  (** per iface: level intervals *)
+  iface_tags : Model.tag array;  (** primary-property tag per iface *)
+  props : Prop.interner;
+  actions : Action.t array;
+  supports : int list array;
+      (** per proposition id: action ids whose add-closure contains it *)
+  init : bool array;  (** proposition id -> holds initially *)
+  init_consumed : (int * string * float) list;
+      (** node resources consumed by pre-placed components *)
+  sources : source list;
+  goal_props : int array;
+  comp_allowed_node : int option array;
+      (** placement restriction, used for synthetic goal-sink components *)
+  iface_max : float array;
+      (** network-ignorant upper bound on each interface's primary property
+          (the paper's "maximum possible utilization"): source capacities
+          pushed through component effects to a fixpoint *)
+}
+
+val iface_index : t -> string -> int
+val comp_index : t -> string -> int
+
+(** Primary-property name of an interface by index. *)
+val primary : t -> int -> string
+
+(** Static capacity of a node resource; 0.0 when the node lacks it. *)
+val node_cap : t -> int -> string -> float
+
+(** Static capacity of a link resource; 0.0 when the link lacks it. *)
+val link_cap : t -> int -> string -> float
+
+val action : t -> int -> Action.t
+val pp_prop : t -> Format.formatter -> int -> unit
+val prop_label : t -> int -> string

@@ -1,0 +1,449 @@
+module I = Sekitei_util.Interval
+module Expr = Sekitei_expr.Expr
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+
+type mode = Optimistic | From_init
+
+type failure = { failed_index : int; failed_action : string; reason : string }
+
+type metrics = {
+  realized_cost : float;
+  lan_peak : float;
+  wan_peak : float;
+  lan_total : float;
+  wan_total : float;
+  node_cpu_used : (int * float) list;
+  link_used : (int * float) list;
+  delivered : (int * int * float) list;
+}
+
+type outcome = (metrics, failure) result
+
+exception Fail of string
+
+type state = {
+  prim : (int * int, I.t) Hashtbl.t;
+  sec : (int * int * string, I.t) Hashtbl.t;
+  node_rem : (int * string, float) Hashtbl.t;
+  link_rem : (int * string, float) Hashtbl.t;
+}
+
+let split_var v =
+  match String.index_opt v '.' with
+  | Some dot ->
+      (String.sub v 0 dot, String.sub v (dot + 1) (String.length v - dot - 1))
+  | None -> ("", v)
+
+(* Throttle the current interval into the consumer's assumed level,
+   honouring the property's tag (see the .mli).  The suprema of proper
+   (half-open) intervals are exclusive: a stream constrained to [0,10)
+   cannot deliver exactly 10, so a meet that collapses onto a single
+   boundary value succeeds only when the current interval is a genuine
+   point (an exactly attainable capacity). *)
+let meet tag cur assumed =
+  let lo, hi =
+    match tag with
+    | Model.Degradable -> (I.lo assumed, Float.min (I.hi assumed) (I.hi cur))
+    | Model.Upgradable -> (Float.max (I.lo assumed) (I.lo cur), I.hi assumed)
+    | Model.Neither ->
+        (Float.max (I.lo assumed) (I.lo cur), Float.min (I.hi assumed) (I.hi cur))
+  in
+  if hi > lo then Some (I.make lo hi)
+  else if hi = lo && I.is_point cur && I.mem lo assumed then Some (I.point lo)
+  else None
+
+let scale_interval scale ivl =
+  if scale >= 1. then ivl
+  else
+    let hi = I.hi ivl *. scale in
+    let lo = Float.min (I.lo ivl) hi in
+    if hi > lo then I.make lo hi else I.point hi
+
+let init_state ?(source_scale = 1.) (pb : Problem.t) =
+  let st =
+    {
+      prim = Hashtbl.create 32;
+      sec = Hashtbl.create 32;
+      node_rem = Hashtbl.create 32;
+      link_rem = Hashtbl.create 32;
+    }
+  in
+  List.iter
+    (fun (s : Problem.source) ->
+      Hashtbl.replace st.prim (s.src_iface, s.src_node)
+        (scale_interval source_scale s.src_interval);
+      List.iter
+        (fun (p, v) ->
+          Hashtbl.replace st.sec (s.src_iface, s.src_node, p) (I.point v))
+        s.src_secondary)
+    pb.sources;
+  st
+
+let node_remaining (pb : Problem.t) st node r =
+  match Hashtbl.find_opt st.node_rem (node, r) with
+  | Some v -> v
+  | None ->
+      let base = Problem.node_cap pb node r in
+      let consumed =
+        List.fold_left
+          (fun acc (n, res, amt) ->
+            if n = node && String.equal res r then acc +. amt else acc)
+          0. pb.init_consumed
+      in
+      base -. consumed
+
+let link_remaining (pb : Problem.t) st link r =
+  match Hashtbl.find_opt st.link_rem (link, r) with
+  | Some v -> v
+  | None -> Problem.link_cap pb link r
+
+(* Operating point of an interval during metric computation. *)
+let op ivl = I.hi ivl
+
+let eval_cost env_ivl cost =
+  (* Cost at operating points; meaningless pieces (unbounded intervals in
+     optimistic mode) degrade to the infimum. *)
+  let env v =
+    let ivl = env_ivl v in
+    if Float.is_finite (I.hi ivl) then I.hi ivl else I.lo ivl
+  in
+  match Expr.eval ~env cost with
+  | v -> v
+  | exception (Expr.Unbound_variable _ | Division_by_zero) -> 0.
+
+let find_iface_index (pb : Problem.t) name =
+  let rec go i =
+    if i >= Array.length pb.ifaces then raise (Fail ("unknown interface " ^ name))
+    else if String.equal pb.ifaces.(i).Model.iface_name name then i
+    else go (i + 1)
+  in
+  go 0
+
+(* Fetch the effective input interval for [iface] at [node], seeding
+   unknown inputs in optimistic mode, and throttle it into [assumed]. *)
+let effective_input pb st ~mode iface node assumed =
+  let tag = pb.Problem.iface_tags.(iface) in
+  let cur =
+    match Hashtbl.find_opt st.prim (iface, node) with
+    | Some cur -> cur
+    | None -> (
+        match mode with
+        | From_init ->
+            raise
+              (Fail
+                 (Printf.sprintf "interface %s not available on node %d"
+                    pb.ifaces.(iface).Model.iface_name node))
+        | Optimistic -> I.of_points [ 0.; pb.iface_max.(iface) ])
+  in
+  match meet tag cur assumed with
+  | Some eff ->
+      Hashtbl.replace st.prim (iface, node) eff;
+      eff
+  | None ->
+      raise
+        (Fail
+           (Printf.sprintf "interface %s at node %d: %s incompatible with level %s"
+              pb.ifaces.(iface).Model.iface_name node (I.to_string cur)
+              (I.to_string assumed)))
+
+let secondary_value pb st ~mode iface node p =
+  match Hashtbl.find_opt st.sec (iface, node, p) with
+  | Some ivl -> ivl
+  | None -> (
+      let default () =
+        match Model.find_property pb.Problem.ifaces.(iface) p with
+        | Some prop -> I.point prop.Model.prop_default
+        | None -> raise (Fail ("unknown property " ^ p))
+      in
+      match mode with From_init -> default () | Optimistic -> default ())
+
+let consume_node pb st node r amount =
+  if not (Float.is_finite amount) then
+    raise (Fail (Printf.sprintf "unbounded %s consumption on node %d" r node));
+  let rem = node_remaining pb st node r -. amount in
+  if rem < -1e-9 then
+    raise
+      (Fail (Printf.sprintf "node %d out of %s (needs %g more)" node r (-.rem)));
+  Hashtbl.replace st.node_rem (node, r) rem
+
+let consume_link pb st link r amount =
+  if not (Float.is_finite amount) then
+    raise (Fail (Printf.sprintf "unbounded %s consumption on link %d" r link));
+  let rem = link_remaining pb st link r -. amount in
+  if rem < -1e-9 then
+    raise
+      (Fail (Printf.sprintf "link %d out of %s (needs %g more)" link r (-.rem)));
+  Hashtbl.replace st.link_rem (link, r) rem
+
+(* A checked (unimportant) level assumption on the remaining amount of a
+   node/link resource.  In [From_init] mode the remaining amount is exact,
+   so the level must contain it (the upper boundary counts as inside: full
+   capacity satisfies "at least the top cutpoint").  In [Optimistic] mode,
+   actions prepended later can only lower the remaining amount, so the
+   assumption is still reachable whenever the level's infimum is. *)
+let checked_level_ok ~mode rem ivl =
+  match mode with
+  | Optimistic -> rem >= I.lo ivl -. 1e-9
+  | From_init -> I.mem rem ivl || rem = I.hi ivl
+
+let store_output out_ivl assumed what =
+  let narrowed =
+    match I.inter out_ivl assumed with
+    | Some x -> Some x
+    | None ->
+        (* A degradable output that computes above its assumed level can be
+           throttled down into it; below it is a real failure. *)
+        if I.lo out_ivl >= I.hi assumed then None
+        else if I.hi out_ivl <= I.lo assumed then None
+        else I.inter out_ivl assumed
+  in
+  match narrowed with
+  | Some x -> x
+  | None ->
+      raise
+        (Fail
+           (Printf.sprintf "%s: computed %s misses level %s" what
+              (I.to_string out_ivl) (I.to_string assumed)))
+
+let exec_place pb st ~mode (act : Action.t) comp node =
+  let c : Model.component = pb.Problem.comps.(comp) in
+  (* 1. throttle inputs into their assumed levels *)
+  Array.iter
+    (fun (i, assumed) -> ignore (effective_input pb st ~mode i node assumed))
+    act.Action.in_levels;
+  (* 2. interval environment *)
+  let env v =
+    match split_var v with
+    | "node", r -> I.point (node_remaining pb st node r)
+    | iface_name, prop_name -> (
+        let i = find_iface_index pb iface_name in
+        let primary = Problem.primary pb i in
+        if String.equal prop_name primary then
+          match Hashtbl.find_opt st.prim (i, node) with
+          | Some ivl -> ivl
+          | None -> I.full (* a provide not yet computed *)
+        else secondary_value pb st ~mode i node prop_name)
+  in
+  (* 3. conditions and checked node levels *)
+  List.iter
+    (fun cond ->
+      if not (Expr.sat ~env cond) then
+        raise (Fail ("condition unsatisfiable: " ^ Expr.cond_to_string cond)))
+    c.Model.conditions;
+  Array.iter
+    (fun (r, ivl) ->
+      let rem = node_remaining pb st node r in
+      if not (checked_level_ok ~mode rem ivl) then
+        raise
+          (Fail
+             (Printf.sprintf "node %s level %s violated (remaining %g)" r
+                (I.to_string ivl) rem)))
+    act.Action.checked_node;
+  (* 4. consume at the supremum *)
+  List.iter
+    (fun (r, e) ->
+      let civl = Expr.eval_interval ~env e in
+      consume_node pb st node r (I.hi civl))
+    c.Model.consumes;
+  (* 5. outputs *)
+  Array.iter
+    (fun (o, assumed) ->
+      let prov = pb.Problem.ifaces.(o).Model.iface_name in
+      let primary = Problem.primary pb o in
+      let effect =
+        match
+          List.find_opt
+            (fun (fi, fp, _) -> String.equal fi prov && String.equal fp primary)
+            c.Model.effects
+        with
+        | Some (_, _, e) -> e
+        | None -> raise (Fail ("no effect for " ^ prov))
+      in
+      let out_ivl = Expr.eval_interval ~env effect in
+      let narrowed = store_output out_ivl assumed act.Action.label in
+      let final =
+        match Hashtbl.find_opt st.prim (o, node) with
+        | None -> narrowed
+        | Some existing -> (
+            match I.inter existing narrowed with
+            | Some x -> x
+            | None -> narrowed (* a fresh production supersedes *))
+      in
+      Hashtbl.replace st.prim (o, node) final;
+      (* secondary properties of the produced interface *)
+      List.iter
+        (fun (p : Model.property) ->
+          if not (String.equal p.Model.prop_name primary) then begin
+            let value =
+              match
+                List.find_opt
+                  (fun (fi, fp, _) ->
+                    String.equal fi prov && String.equal fp p.Model.prop_name)
+                  c.Model.effects
+              with
+              | Some (_, _, e) -> Expr.eval_interval ~env e
+              | None -> I.point p.Model.prop_default
+            in
+            Hashtbl.replace st.sec (o, node, p.Model.prop_name) value
+          end)
+        pb.Problem.ifaces.(o).Model.properties)
+    act.Action.out_levels;
+  eval_cost env c.Model.place_cost
+
+let exec_cross pb st ~mode (act : Action.t) iface link src dst =
+  let ifc : Model.iface = pb.Problem.ifaces.(iface) in
+  let primary = Problem.primary pb iface in
+  let assumed_in =
+    match act.Action.in_levels with
+    | [| (_, ivl) |] -> ivl
+    | _ -> assert false
+  in
+  let eff = effective_input pb st ~mode iface src assumed_in in
+  let env v =
+    match split_var v with
+    | "link", r -> I.point (link_remaining pb st link r)
+    | "", p ->
+        if String.equal p primary then eff
+        else secondary_value pb st ~mode iface src p
+    | _, _ -> raise (Fail ("unexpected variable in cross formula: " ^ v))
+  in
+  List.iter
+    (fun cond ->
+      if not (Expr.sat ~env cond) then
+        raise (Fail ("cross condition unsatisfiable: " ^ Expr.cond_to_string cond)))
+    ifc.Model.cross_conditions;
+  Array.iter
+    (fun (r, ivl) ->
+      let rem = link_remaining pb st link r in
+      if not (checked_level_ok ~mode rem ivl) then
+        raise
+          (Fail
+             (Printf.sprintf "link %s level %s violated (remaining %g)" r
+                (I.to_string ivl) rem)))
+    act.Action.checked_link;
+  (* Evaluate all transforms against the pre-consumption environment. *)
+  let transformed =
+    List.map
+      (fun (p : Model.property) ->
+        let p = p.Model.prop_name in
+        match List.assoc_opt p ifc.Model.cross_transforms with
+        | Some e -> (p, Expr.eval_interval ~env e)
+        | None ->
+            ( p,
+              if String.equal p primary then eff
+              else secondary_value pb st ~mode iface src p ))
+      ifc.Model.properties
+  in
+  List.iter
+    (fun (r, e) ->
+      let civl = Expr.eval_interval ~env e in
+      consume_link pb st link r (I.hi civl))
+    ifc.Model.cross_consumes;
+  let assumed_out =
+    match act.Action.out_levels with
+    | [| (_, ivl) |] -> ivl
+    | _ -> assert false
+  in
+  List.iter
+    (fun (p, ivl) ->
+      if String.equal p primary then begin
+        let narrowed = store_output ivl assumed_out act.Action.label in
+        let final =
+          match Hashtbl.find_opt st.prim (iface, dst) with
+          | None -> narrowed
+          | Some existing -> (
+              match I.inter existing narrowed with
+              | Some x -> x
+              | None -> narrowed)
+        in
+        Hashtbl.replace st.prim (iface, dst) final
+      end
+      else Hashtbl.replace st.sec (iface, dst, p) ivl)
+    transformed;
+  eval_cost env ifc.Model.cross_cost
+
+let collect_metrics (pb : Problem.t) st realized_cost =
+  let lan_peak = ref 0.
+  and wan_peak = ref 0.
+  and lan_total = ref 0.
+  and wan_total = ref 0. in
+  let link_used = ref [] in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let cap = Problem.link_cap pb l.Topology.link_id "lbw" in
+      let used = cap -. link_remaining pb st l.Topology.link_id "lbw" in
+      if used > 1e-9 then begin
+        link_used := (l.Topology.link_id, used) :: !link_used;
+        match l.Topology.kind with
+        | Topology.Lan ->
+            lan_peak := Float.max !lan_peak used;
+            lan_total := !lan_total +. used
+        | Topology.Wan ->
+            wan_peak := Float.max !wan_peak used;
+            wan_total := !wan_total +. used
+      end)
+    (Topology.links pb.topo);
+  let node_cpu_used =
+    Hashtbl.fold
+      (fun (node, r) _rem acc ->
+        if String.equal r "cpu" then
+          (node, Problem.node_cap pb node r -. node_remaining pb st node r) :: acc
+        else acc)
+      st.node_rem []
+    |> List.sort compare
+  in
+  let delivered =
+    Hashtbl.fold
+      (fun (iface, node) ivl acc ->
+        if Float.is_finite (op ivl) then (iface, node, op ivl) :: acc else acc)
+      st.prim []
+    |> List.sort compare
+  in
+  {
+    realized_cost;
+    lan_peak = !lan_peak;
+    wan_peak = !wan_peak;
+    lan_total = !lan_total;
+    wan_total = !wan_total;
+    node_cpu_used;
+    link_used = List.rev !link_used;
+    delivered;
+  }
+
+let run ?source_scale pb ~mode tail =
+  let st = init_state ?source_scale pb in
+  let cost = ref 0. in
+  let result = ref (Ok ()) in
+  let rec go idx = function
+    | [] -> ()
+    | (act : Action.t) :: rest -> (
+        match
+          match act.Action.kind with
+          | Action.Place { comp; node } -> exec_place pb st ~mode act comp node
+          | Action.Cross { iface; link; src; dst } ->
+              exec_cross pb st ~mode act iface link src dst
+        with
+        | c ->
+            cost := !cost +. Float.max 0. (c +. act.Action.cost_extra);
+            go (idx + 1) rest
+        | exception Fail reason ->
+            result :=
+              Error
+                { failed_index = idx; failed_action = act.Action.label; reason }
+        | exception Division_by_zero ->
+            result :=
+              Error
+                {
+                  failed_index = idx;
+                  failed_action = act.Action.label;
+                  reason = "division by zero in a specification formula";
+                })
+  in
+  go 0 tail;
+  match !result with
+  | Error f -> Error f
+  | Ok () -> Ok (collect_metrics pb st !cost)
+
+let pp_failure fmt f =
+  Format.fprintf fmt "action %d (%s): %s" f.failed_index f.failed_action f.reason

@@ -1,0 +1,54 @@
+(** Forward execution of plan tails in optimistic resource maps (paper
+    section 3.2.3, Figure 8).
+
+    A tail is a totally ordered action sequence executed front to back.
+    Every interface property carries an interval; each action first
+    {e meets} the current interval with its assumed level (degradable
+    streams may be throttled down into the level, upgradable ones up),
+    then checks its conditions for satisfiability, consumes node/link
+    resources at the interval supremum (the paper's greedy "maximum
+    possible utilization" — which under level-throttling is the realized
+    operating point), and finally produces its outputs by monotone
+    interval evaluation of the effect formulae.
+
+    Two modes:
+    - [Optimistic] — unknown inputs are seeded from the action's assumed
+      level capped by the interface's global maximum ({!Problem.t.iface_max});
+      used to prune partial plans during RG search.  A failure here is
+      definitive: no completion of the tail can succeed.
+    - [From_init] — inputs must be produced by earlier actions or the
+      initial state; used for the final soundness check and for deployment
+      metrics. *)
+
+module I = Sekitei_util.Interval
+
+type mode = Optimistic | From_init
+
+type failure = {
+  failed_index : int;  (** position in the tail, -1 for goal checks *)
+  failed_action : string;  (** action label or goal description *)
+  reason : string;
+}
+
+type metrics = {
+  realized_cost : float;
+      (** cost formulae evaluated at the operating points *)
+  lan_peak : float;  (** max bandwidth reserved on any LAN link *)
+  wan_peak : float;
+  lan_total : float;
+  wan_total : float;
+  node_cpu_used : (int * float) list;  (** per node, "cpu" consumption *)
+  link_used : (int * float) list;
+      (** exact per-link ["lbw"] consumption, link id ascending *)
+  delivered : (int * int * float) list;
+      (** (iface, node, operating value) at every tail-end availability *)
+}
+
+type outcome = (metrics, failure) result
+
+(** [run problem ~mode tail] executes the tail (earliest action first).
+    [source_scale] (default 1) scales every source's capacity — the hook
+    the post-processing optimizer uses to throttle the supply. *)
+val run : ?source_scale:float -> Problem.t -> mode:mode -> Action.t list -> outcome
+
+val pp_failure : Format.formatter -> failure -> unit

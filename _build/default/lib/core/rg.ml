@@ -1,0 +1,105 @@
+module Heap = Sekitei_util.Heap
+
+type stats = {
+  created : int;
+  expanded : int;
+  open_left : int;
+  replay_pruned : int;
+  final_replay_rejected : int;
+}
+
+type result =
+  | Solution of Action.t list * Replay.metrics * float
+  | Exhausted
+  | Budget_exceeded
+
+type node = { tail : Action.t list; set : int array; g : float }
+
+let canonical (pb : Problem.t) props =
+  Array.of_list
+    (List.sort_uniq compare (List.filter (fun p -> not pb.init.(p)) props))
+
+let regress (pb : Problem.t) set (a : Action.t) =
+  let in_closure p = Array.exists (fun q -> q = p) a.Action.add_closure in
+  let remaining = Array.to_list set |> List.filter (fun p -> not (in_closure p)) in
+  canonical pb (Array.to_list a.Action.pre @ remaining)
+
+let candidate_actions (pb : Problem.t) plrg set =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun aid ->
+          if (not (Hashtbl.mem seen aid)) && Plrg.action_relevant plrg aid then begin
+            Hashtbl.add seen aid ();
+            acc := aid :: !acc
+          end)
+        pb.supports.(p))
+    set;
+  List.sort compare !acc
+
+let search ?(max_expansions = 500_000) (pb : Problem.t) plrg slrg =
+  let created = ref 0
+  and expanded = ref 0
+  and replay_pruned = ref 0
+  and final_rejected = ref 0 in
+  let heap = Heap.create () in
+  let push node =
+    let h = Slrg.query slrg (Array.to_list node.set) in
+    if Float.is_finite h then begin
+      incr created;
+      Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) node
+    end
+  in
+  push { tail = []; set = canonical pb (Array.to_list pb.goal_props); g = 0. };
+  let finish result =
+    ( result,
+      {
+        created = !created;
+        expanded = !expanded;
+        open_left = Heap.length heap;
+        replay_pruned = !replay_pruned;
+        final_replay_rejected = !final_rejected;
+      } )
+  in
+  let rec loop () =
+    match Heap.pop heap with
+    | None -> finish Exhausted
+    | Some (node, _f) ->
+        if !expanded >= max_expansions then finish Budget_exceeded
+        else begin
+          incr expanded;
+          if Array.length node.set = 0 then begin
+            (* Candidate solution: validate against the true initial map. *)
+            match Replay.run pb ~mode:Replay.From_init node.tail with
+            | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
+            | Error _ ->
+                incr final_rejected;
+                loop ()
+          end
+          else begin
+            List.iter
+              (fun aid ->
+                let a = pb.actions.(aid) in
+                let repeated =
+                  List.exists (fun b -> b.Action.act_id = aid) node.tail
+                in
+                if not repeated then begin
+                  let tail' = a :: node.tail in
+                  match Replay.run pb ~mode:Replay.Optimistic tail' with
+                  | Error _ -> incr replay_pruned
+                  | Ok _ ->
+                      push
+                        {
+                          tail = tail';
+                          set = regress pb node.set a;
+                          g = node.g +. a.Action.cost_lb;
+                        }
+                end)
+              (candidate_actions pb plrg node.set);
+            loop ()
+          end
+        end
+  in
+  loop ()

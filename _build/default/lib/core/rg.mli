@@ -1,0 +1,30 @@
+(** Phase 3: the main regression graph (paper section 3.2.3).
+
+    A* over totally-ordered plan tails, regressing from the goal
+    propositions.  Each node carries the tail built so far and the set of
+    propositions still to achieve; expanding a node prepends an action that
+    supports at least one pending proposition.  Every new tail is replayed
+    forward in its optimistic resource map and pruned on failure (early
+    detection of resource and QoS violations).  A node whose pending set is
+    empty is a candidate solution; it is accepted only when the tail also
+    replays successfully from the true initial state.
+
+    The remaining-cost heuristic is the SLRG set cost; path cost is the sum
+    of the leveled actions' cost lower bounds, so the first accepted
+    solution minimizes the plan's cost lower bound (paper section 4:
+    "our algorithm optimizes the minimum cost of the plan"). *)
+
+type stats = {
+  created : int;  (** RG nodes created *)
+  expanded : int;
+  open_left : int;  (** nodes left in the A* queue at termination *)
+  replay_pruned : int;  (** tails discarded by optimistic replay *)
+  final_replay_rejected : int;  (** complete tails rejected from the init map *)
+}
+
+type result =
+  | Solution of Action.t list * Replay.metrics * float  (** tail, metrics, cost bound *)
+  | Exhausted  (** no resource-feasible plan (the scenario-A verdict) *)
+  | Budget_exceeded
+
+val search : ?max_expansions:int -> Problem.t -> Plrg.t -> Slrg.t -> result * stats

@@ -1,0 +1,143 @@
+module Heap = Sekitei_util.Heap
+
+module Key = struct
+  type t = int array
+
+  let equal = Stdlib.( = )
+  let hash = Hashtbl.hash
+end
+
+module H = Hashtbl.Make (Key)
+
+type t = {
+  problem : Problem.t;
+  plrg : Plrg.t;
+  query_budget : int;
+  solved : float H.t;  (** exact set costs *)
+  bounds : float H.t;
+      (** admissible lower bounds from budget-exhausted queries; cached so
+          repeated RG queries for the same pending set cost nothing *)
+  mutable generated : int;
+}
+
+let create ?(query_budget = 500) problem plrg =
+  {
+    problem;
+    plrg;
+    query_budget;
+    solved = H.create 256;
+    bounds = H.create 256;
+    generated = 0;
+  }
+
+let h_max t set =
+  Array.fold_left (fun acc p -> Float.max acc (Plrg.cost t.plrg p)) 0. set
+
+(* Canonical set: sorted, deduplicated, with initially-true propositions
+   dropped. *)
+let canonical (pb : Problem.t) props =
+  let filtered = List.filter (fun p -> not pb.init.(p)) props in
+  let arr = Array.of_list (List.sort_uniq compare filtered) in
+  arr
+
+let regress (pb : Problem.t) set (a : Action.t) =
+  (* (set \ add_closure(a)) union pre(a), canonical. *)
+  let in_closure p = Array.exists (fun q -> q = p) a.Action.add_closure in
+  let remaining = Array.to_list set |> List.filter (fun p -> not (in_closure p)) in
+  canonical pb (Array.to_list a.Action.pre @ remaining)
+
+let candidate_actions t set =
+  let pb = t.problem in
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Array.iter
+    (fun p ->
+      List.iter
+        (fun aid ->
+          if (not (Hashtbl.mem seen aid)) && Plrg.action_relevant t.plrg aid then begin
+            Hashtbl.add seen aid ();
+            acc := aid :: !acc
+          end)
+        pb.supports.(p))
+    set;
+  List.sort compare !acc
+
+let query t props =
+  let pb = t.problem in
+  let root = canonical pb props in
+  if Array.length root = 0 then 0.
+  else
+    match H.find_opt t.solved root with
+    | Some c -> c
+    | None when H.mem t.bounds root -> H.find t.bounds root
+    | None ->
+        let h_root = h_max t root in
+        if not (Float.is_finite h_root) then begin
+          H.replace t.solved root Float.infinity;
+          Float.infinity
+        end
+        else begin
+          let g_best = H.create 64 in
+          let heap = Heap.create () in
+          H.replace g_best root 0.;
+          Heap.add heap ~prio:h_root (root, 0.);
+          t.generated <- t.generated + 1;
+          let best_complete = ref Float.infinity in
+          let expansions = ref 0 in
+          let result = ref None in
+          let exact = ref true in
+          while !result = None do
+            match Heap.peek heap with
+            | None ->
+                result := Some !best_complete
+                (* infinity when nothing completed *)
+            | Some ((set, g), f) ->
+                if !best_complete <= f then result := Some !best_complete
+                else if !expansions >= t.query_budget then begin
+                  (* Budget exhausted: the open minimum is still an
+                     admissible bound, but not exact. *)
+                  exact := false;
+                  result := Some (Float.min !best_complete f)
+                end
+                else begin
+                  ignore (Heap.pop heap);
+                  let stale =
+                    match H.find_opt g_best set with
+                    | Some g' -> g' < g -. 1e-12
+                    | None -> false
+                  in
+                  if not stale then begin
+                    incr expansions;
+                    if Array.length set = 0 then begin
+                      best_complete := Float.min !best_complete g;
+                      result := Some !best_complete
+                    end
+                    else
+                      List.iter
+                        (fun aid ->
+                          let a = pb.actions.(aid) in
+                          let set' = regress pb set a in
+                          let g' = g +. a.Action.cost_lb in
+                          match H.find_opt t.solved set' with
+                          | Some rest ->
+                              best_complete := Float.min !best_complete (g' +. rest)
+                          | None -> (
+                              let h = h_max t set' in
+                              if Float.is_finite h then
+                                match H.find_opt g_best set' with
+                                | Some g_old when g_old <= g' +. 1e-12 -> ()
+                                | _ ->
+                                    H.replace g_best set' g';
+                                    t.generated <- t.generated + 1;
+                                    Heap.add heap ~prio:(g' +. h) (set', g')))
+                        (candidate_actions t set)
+                  end
+                end
+          done;
+          let cost = Option.get !result in
+          if !exact then H.replace t.solved root cost
+          else H.replace t.bounds root cost;
+          cost
+        end
+
+let nodes_generated t = t.generated

@@ -1,0 +1,27 @@
+(** Phase 2: the set logical regression graph (paper section 3.2.2).
+
+    Estimates the minimum logical cost of achieving a {e set} of
+    propositions together, by A* regression over proposition sets using the
+    PLRG cost as heuristic.  Unlike the PLRG's max-aggregation, the SLRG
+    accounts for the fact that actions in a serial plan pay their costs in
+    sequence (the paper's example: the cost of [{placed(Cl,n1)}] rises from
+    18 to 19 because two link crossings can no longer be counted in
+    parallel).
+
+    The oracle is lazy and memoized: the RG phase queries it once per
+    search node; query results and the closed sets they solve are cached
+    across queries.  Every query is budgeted — on budget exhaustion the
+    best open f-value (still an admissible lower bound, at least as strong
+    as the PLRG estimate) is returned and not memoized as exact. *)
+
+type t
+
+val create : ?query_budget:int -> Problem.t -> Plrg.t -> t
+
+(** Admissible lower bound on the serial cost of achieving all the given
+    propositions from the initial state; [infinity] when impossible. *)
+val query : t -> int list -> float
+
+(** Total number of set nodes generated across all queries so far
+    (Table 2, column SLRG). *)
+val nodes_generated : t -> int

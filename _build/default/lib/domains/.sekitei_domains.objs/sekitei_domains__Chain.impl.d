@@ -1,0 +1,1 @@
+lib/domains/chain.ml: List Printf Sekitei_expr Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+lib/domains/chain.mli: Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+lib/domains/gridflow.mli: Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+lib/domains/media.ml: List Printf Sekitei_expr Sekitei_spec

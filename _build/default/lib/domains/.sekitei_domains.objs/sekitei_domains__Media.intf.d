@@ -1,0 +1,1 @@
+lib/domains/media.mli: Sekitei_spec

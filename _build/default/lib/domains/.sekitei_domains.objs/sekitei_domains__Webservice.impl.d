@@ -1,0 +1,1 @@
+lib/domains/webservice.ml: List Printf Sekitei_expr Sekitei_network Sekitei_spec

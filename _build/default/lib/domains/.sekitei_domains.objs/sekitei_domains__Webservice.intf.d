@@ -1,0 +1,1 @@
+lib/domains/webservice.mli: Sekitei_network Sekitei_spec

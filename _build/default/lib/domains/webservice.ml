@@ -1,0 +1,65 @@
+module Model = Sekitei_spec.Model
+module Leveling = Sekitei_spec.Leveling
+module Topology = Sekitei_network.Topology
+module Expr = Sekitei_expr.Expr
+
+let e = Expr.parse
+let c = Expr.parse_cond
+
+let topology ~secure =
+  let m = List.length secure in
+  Topology.(
+    make
+      ~nodes:(List.init (m + 1) (fun i -> node i (Printf.sprintf "n%d" i)))
+      ~links:
+        (List.mapi
+           (fun i s ->
+             link ~bw:100. ~resources:[ ("secure", float_of_int s) ]
+               (if s = 1 then Lan else Wan)
+               i i (i + 1))
+           secure))
+
+let app ?(supply = 80.) ?(demand = 40.) ~backend ~consumer () =
+  let plaintext =
+    Model.iface
+      ~cross_conditions:[ c "link.secure >= 1" ]
+      ~cross_cost:(e "1 + ibw / 10")
+      ~properties:[ Model.property ~tag:Model.Degradable "ibw" ]
+      "P"
+  in
+  let ciphertext =
+    Model.iface
+      ~cross_cost:(e "1 + ibw / 10")
+      ~properties:[ Model.property ~tag:Model.Degradable "ibw" ]
+      "PE"
+  in
+  {
+    Model.interfaces = [ plaintext; ciphertext ];
+    components =
+      [
+        Model.component ~provides:[ "P" ]
+          ~effects:[ ("P", "ibw", Expr.Const supply) ]
+          ~placeable:false "Backend";
+        Model.component ~requires:[ "P" ]
+          ~conditions:[ c (Printf.sprintf "P.ibw >= %g" demand) ]
+          ~place_cost:(e "1 + P.ibw / 10")
+          "Consumer";
+        (* Encryption adds 25% framing overhead and costs CPU. *)
+        Model.component ~requires:[ "P" ] ~provides:[ "PE" ]
+          ~effects:[ ("PE", "ibw", e "P.ibw * 5 / 4") ]
+          ~consumes:[ ("cpu", e "P.ibw / 8") ]
+          ~place_cost:(e "2 + P.ibw / 10")
+          "Encryptor";
+        Model.component ~requires:[ "PE" ] ~provides:[ "P" ]
+          ~effects:[ ("P", "ibw", e "PE.ibw * 4 / 5") ]
+          ~consumes:[ ("cpu", e "PE.ibw / 8") ]
+          ~place_cost:(e "2 + PE.ibw / 10")
+          "Decryptor";
+      ];
+    pre_placed = [ ("Backend", backend) ];
+    goals = [ Model.Placed ("Consumer", consumer) ];
+  }
+
+let leveling app =
+  Leveling.propagate app
+    (Leveling.with_iface Leveling.empty "P" "ibw" [ 40.; 80. ])

@@ -1,0 +1,24 @@
+(** A web-service composition domain with qualitative link constraints
+    (the paper's introduction cites BPEL/OWL-S web services; section 2.1
+    notes "other properties such as link security" as typical resources).
+
+    A [Backend] service emits a sensitive response stream [P] (plaintext)
+    that may only cross links with [secure >= 1].  An [Encryptor] turns
+    [P] into [PE] (ciphertext, slightly larger) that may cross anything;
+    a [Decryptor] restores [P].  The [Consumer] needs the plaintext.  On a
+    path with an insecure middle link the planner must bracket it with the
+    crypto pair; when the whole path is secure the direct plan wins on
+    cost. *)
+
+module Model = Sekitei_spec.Model
+module Leveling = Sekitei_spec.Leveling
+module Topology = Sekitei_network.Topology
+
+(** [topology ~secure] is a 4-node line whose [i]-th link carries
+    [secure] 1 or 0 (bandwidth 100 everywhere). *)
+val topology : secure:int list -> Topology.t
+
+val app : ?supply:float -> ?demand:float -> backend:int -> consumer:int -> unit -> Model.app
+
+(** Levels on [P] at the demand and supply (propagated to [PE]). *)
+val leveling : Model.app -> Leveling.t

@@ -1,0 +1,1 @@
+lib/expr/expr.ml: Array Char Float Format Hashtbl List Printf Sekitei_util Stdlib String

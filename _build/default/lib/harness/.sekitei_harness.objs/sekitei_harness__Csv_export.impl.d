@@ -1,0 +1,1 @@
+lib/harness/csv_export.ml: Buffer Fun List Printf Sekitei_core Sekitei_domains String Table2

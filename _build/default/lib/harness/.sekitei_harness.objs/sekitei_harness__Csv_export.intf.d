@@ -1,0 +1,1 @@
+lib/harness/csv_export.mli: Table2

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Array Buffer Float Format List Printf Scenarios Sekitei_core Sekitei_domains Sekitei_network Sekitei_spec Sekitei_util String

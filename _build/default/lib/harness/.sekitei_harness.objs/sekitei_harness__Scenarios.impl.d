@@ -1,0 +1,1 @@
+lib/harness/scenarios.ml: List Printf Sekitei_domains Sekitei_network Sekitei_spec Sekitei_util

@@ -1,0 +1,1 @@
+lib/harness/table2.ml: List Option Printf Result Scenarios Sekitei_core Sekitei_domains Sekitei_util

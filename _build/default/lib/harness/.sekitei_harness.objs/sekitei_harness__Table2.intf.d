@@ -1,0 +1,1 @@
+lib/harness/table2.mli: Scenarios Sekitei_core Sekitei_domains

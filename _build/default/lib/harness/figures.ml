@@ -1,0 +1,195 @@
+module I = Sekitei_util.Interval
+module Table = Sekitei_util.Ascii_table
+module Topology = Sekitei_network.Topology
+module Generators = Sekitei_network.Generators
+module Dot = Sekitei_network.Dot
+module Leveling = Sekitei_spec.Leveling
+module Media = Sekitei_domains.Media
+module Chain = Sekitei_domains.Chain
+module Planner = Sekitei_core.Planner
+module Plan = Sekitei_core.Plan
+module Replay = Sekitei_core.Replay
+module Compile = Sekitei_core.Compile
+module Postprocess = Sekitei_core.Postprocess
+
+let ivl_list_to_string ivls =
+  String.concat ", " (List.map I.to_string ivls)
+
+let table1 () =
+  let sc = Scenarios.tiny () in
+  let t =
+    Table.create
+      [ "Scenario"; "Levels of bandwidth of M"; "Levels of link bandwidth" ]
+  in
+  List.iter
+    (fun level ->
+      let leveling = Media.leveling level sc.Scenarios.app in
+      Table.add_row t
+        [
+          Media.scenario_name level;
+          ivl_list_to_string (Leveling.iface_levels leveling "M" "ibw");
+          ivl_list_to_string (Leveling.link_levels leveling "lbw");
+        ])
+    Media.all_scenarios;
+  "Table 1: resource level scenarios (T, I, Z levels are proportional to M)\n"
+  ^ Table.render t
+
+let solve_scenario (sc : Scenarios.t) level =
+  let leveling = Media.leveling level sc.Scenarios.app in
+  let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
+  (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling, pb)
+
+let describe_outcome pb (outcome : Planner.outcome) =
+  match outcome.Planner.result with
+  | Ok p ->
+      Printf.sprintf
+        "plan with %d actions, cost bound %s (realized %s), LAN peak %s, WAN peak %s:\n%s"
+        (Plan.length p)
+        (Table.float_cell p.Plan.cost_lb)
+        (Table.float_cell p.Plan.metrics.Replay.realized_cost)
+        (Table.float_cell p.Plan.metrics.Replay.lan_peak)
+        (Table.float_cell p.Plan.metrics.Replay.wan_peak)
+        (Plan.to_string pb p)
+  | Error r -> Format.asprintf "NO PLAN: %a" Planner.pp_failure_reason r
+
+let fig3_4 () =
+  let sc = Scenarios.tiny () in
+  let greedy, gpb = solve_scenario sc Media.A in
+  let leveled, lpb = solve_scenario sc Media.C in
+  Printf.sprintf
+    "Figures 3-4: Tiny network (2 nodes, one 70-unit WAN link; supply 200, \
+     demand 90, CPU 30)\n\n\
+     Original greedy Sekitei (scenario A): %s\n\n\
+     Leveled planner (scenario C): %s\n"
+    (describe_outcome gpb greedy)
+    (describe_outcome lpb leveled)
+
+let fig5 ?(weights = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 3.0; 4.0 ]) () =
+  let topo = Chain.topology () in
+  let t =
+    Table.create
+      ~aligns:[ Table.Right; Table.Right; Table.Right; Table.Left ]
+      [ "link-cost weight"; "plan actions"; "cost bound"; "chosen route" ]
+  in
+  List.iter
+    (fun alpha ->
+      let app = Chain.app ~cross_weight:alpha () in
+      let leveling = Chain.leveling app in
+      let pb = Compile.compile topo app leveling in
+      let o = Planner.solve topo app leveling in
+      match o.Planner.result with
+      | Ok p ->
+          let uses_zip =
+            List.exists (fun (n, _) -> String.equal n "Zip") (Plan.placements pb p)
+          in
+          Table.add_row t
+            [
+              Printf.sprintf "%g" alpha;
+              string_of_int (Plan.length p);
+              Table.float_cell p.Plan.cost_lb;
+              (if uses_zip then "2 links + Zip/Unzip" else "3 links direct");
+            ]
+      | Error r ->
+          Table.add_row t
+            [
+              Printf.sprintf "%g" alpha; "-"; "-";
+              Format.asprintf "no plan (%a)" Planner.pp_failure_reason r;
+            ])
+    weights;
+  "Figure 5: cost weights flip the chosen plan (chain domain; place weight \
+   fixed at 1)\n" ^ Table.render t
+
+let fig9 () =
+  let sc = Scenarios.small () in
+  let shortest, spb = solve_scenario sc Media.B in
+  let optimal, opb = solve_scenario sc Media.C in
+  Printf.sprintf
+    "Figure 9: Small network (6 nodes; path server n4 -LAN- n3 -WAN- n2 -LAN- \
+     n1 -LAN- n0 client)\n\n\
+     Suboptimal shortest plan (scenario B): %s\n\n\
+     Optimal plan (scenario C): %s\n"
+    (describe_outcome spb shortest)
+    (describe_outcome opb optimal)
+
+let fig10 ?(dot = false) () =
+  let sc = Scenarios.large () in
+  let topo = sc.Scenarios.topo in
+  let lan, wan =
+    Array.fold_left
+      (fun (lan, wan) (l : Topology.link) ->
+        match l.Topology.kind with
+        | Topology.Lan -> (lan + 1, wan)
+        | Topology.Wan -> (lan, wan + 1))
+      (0, 0) (Topology.links topo)
+  in
+  let summary =
+    Printf.sprintf
+      "Figure 10: Large transit-stub network\n\
+       nodes: %d (3 transit + 9 stubs x 10)\n\
+       links: %d (%d LAN @150, %d WAN @70)\n\
+       server: n%d, client: n%d (shortest path LAN-WAN-WAN-LAN)\n\
+       connected: %b\n"
+      (Topology.node_count topo) (Topology.link_count topo) lan wan
+      sc.Scenarios.server sc.Scenarios.client
+      (Topology.is_connected topo)
+  in
+  if dot then
+    summary ^ "\n"
+    ^ Dot.to_dot ~highlight:[ sc.Scenarios.server; sc.Scenarios.client ] topo
+  else summary
+
+let postprocess_ablation () =
+  let buf = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "Post-processing ablation (paper section 2.3)\n\n";
+  (* (a) A resource-rich Tiny variant: one 150-unit LAN link, so greedy
+     succeeds but wastes bandwidth; post-processing throttles it down. *)
+  let rich_topo = Generators.line_kinds [ Topology.Lan ] in
+  let app = Sekitei_domains.Media.app ~server:0 ~client:1 () in
+  let greedy = Planner.solve_greedy rich_topo app in
+  (match greedy.Planner.result with
+  | Ok p ->
+      let pb = Compile.compile rich_topo app Leveling.empty in
+      pf
+        "(a) Resource-rich Tiny (150-unit LAN link): greedy plan of %d actions \
+         pushes %s units (link use %s).\n"
+        (Plan.length p)
+        (Table.float_cell
+           (List.fold_left
+              (fun acc (_, _, v) -> Float.max acc v)
+              0. p.Plan.metrics.Replay.delivered))
+        (Table.float_cell p.Plan.metrics.Replay.lan_peak);
+      (match Postprocess.minimize pb p with
+      | Some r ->
+          pf
+          "    post-processing throttles supply to %.1f%%, delivering %s units \
+           (link use %s) - the legacy optimizer works when greedy finds a plan.\n"
+            (100. *. r.Postprocess.scale)
+            (Table.float_cell
+               (List.fold_left
+                  (fun acc (_, _, v) -> Float.max acc v)
+                  0. r.Postprocess.metrics.Replay.delivered))
+            (Table.float_cell r.Postprocess.metrics.Replay.lan_peak)
+      | None -> pf "    post-processing unexpectedly failed.\n")
+  | Error r ->
+      pf "(a) unexpected greedy failure: %a\n"
+        (fun () -> Format.asprintf "%a" Planner.pp_failure_reason) r);
+  (* (b) The paper's Scenario 1: greedy has nothing to post-process. *)
+  let sc = Scenarios.tiny () in
+  let greedy = Planner.solve_greedy sc.Scenarios.topo sc.Scenarios.app in
+  let leveled =
+    Planner.solve sc.Scenarios.topo sc.Scenarios.app
+      (Media.leveling Media.C sc.Scenarios.app)
+  in
+  pf
+    "(b) Scenario 1 (Tiny, 70-unit WAN link): greedy result: %s; leveled \
+     planner: %s.\n\
+    \    Post-processing cannot help when the greedy planner never finds a \
+     plan - resource levels are required.\n"
+    (match greedy.Planner.result with
+    | Ok _ -> "found a plan (unexpected)"
+    | Error r -> Format.asprintf "%a" Planner.pp_failure_reason r)
+    (match leveled.Planner.result with
+    | Ok p -> Printf.sprintf "%d-action plan" (Plan.length p)
+    | Error _ -> "no plan (unexpected)");
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Regeneration of the paper's figures (1, 3-5, 9, 10) and Table 1.
+
+    Each function returns printable text; the benchmark executable prints
+    them all so [dune exec bench/main.exe] reproduces every exhibit of the
+    evaluation section. *)
+
+(** Table 1: the five level scenarios as interval lists (M-stream levels
+    derived from the cutpoints, link-bandwidth levels for E). *)
+val table1 : unit -> string
+
+(** Figures 3-4: the Tiny instance — greedy (scenario A) fails; leveled
+    planning (scenario C) produces the 7-action plan of Figure 4, printed
+    in the paper's wording. *)
+val fig3_4 : unit -> string
+
+(** Figure 5: the cost-tradeoff sweep on the chain domain — for each
+    link-cost weight, which plan the planner picks (direct wide path vs
+    compressed narrow path) and its cost bound. *)
+val fig5 : ?weights:float list -> unit -> string
+
+(** Figure 9: the Small network — scenario B's shortest (suboptimal) plan
+    vs scenario C's optimal plan, with action listings, cost bounds and
+    reserved LAN bandwidth. *)
+val fig9 : unit -> string
+
+(** Figure 10: the Large transit-stub network — summary statistics and the
+    DOT rendering (server and client highlighted). *)
+val fig10 : ?dot:bool -> unit -> string
+
+(** Ablation (paper section 2.3): the original greedy planner plus its
+    post-processing minimizer on (a) a resource-rich Tiny variant, where
+    post-processing recovers efficiency, and (b) the paper's Scenario-1
+    instance, where greedy finds nothing to post-process while the leveled
+    planner succeeds. *)
+val postprocess_ablation : unit -> string

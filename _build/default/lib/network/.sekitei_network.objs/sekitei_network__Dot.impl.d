@@ -1,0 +1,1 @@
+lib/network/dot.ml: Array Buffer Fun List Printf Topology

@@ -1,0 +1,1 @@
+lib/network/dot.mli: Topology

@@ -1,0 +1,1 @@
+lib/network/generators.ml: Array List Printf Sekitei_util Topology

@@ -1,0 +1,1 @@
+lib/network/generators.mli: Sekitei_util Topology

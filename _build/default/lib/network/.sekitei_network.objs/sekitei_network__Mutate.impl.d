@@ -1,0 +1,1 @@
+lib/network/mutate.ml: Array List Topology

@@ -1,0 +1,1 @@
+lib/network/mutate.mli: Topology

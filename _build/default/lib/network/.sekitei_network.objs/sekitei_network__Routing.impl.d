@@ -1,0 +1,1 @@
+lib/network/routing.ml: Array Float List Option Queue Sekitei_util Topology

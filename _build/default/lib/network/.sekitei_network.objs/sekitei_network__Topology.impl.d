@@ -1,0 +1,1 @@
+lib/network/topology.ml: Array Fun Hashtbl List Printf String

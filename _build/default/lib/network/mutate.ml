@@ -1,0 +1,61 @@
+open Topology
+
+let rebuild nodes links = make ~nodes ~links
+
+let renumber links = List.mapi (fun i l -> { l with link_id = i }) links
+
+let set_link_resource t link res v =
+  let links =
+    Array.to_list (links t)
+    |> List.map (fun l ->
+           if l.link_id = link then
+             { l with link_resources = (res, v) :: List.remove_assoc res l.link_resources }
+           else l)
+  in
+  rebuild (Array.to_list (nodes t)) links
+
+let set_node_resource t node res v =
+  let nodes =
+    Array.to_list (nodes t)
+    |> List.map (fun n ->
+           if n.node_id = node then
+             { n with node_resources = (res, v) :: List.remove_assoc res n.node_resources }
+           else n)
+  in
+  rebuild nodes (Array.to_list (links t))
+
+let scale_links ?kind t res factor =
+  let links =
+    Array.to_list (links t)
+    |> List.map (fun l ->
+           let applies = match kind with None -> true | Some k -> l.kind = k in
+           match (applies, List.assoc_opt res l.link_resources) with
+           | true, Some v ->
+               { l with
+                 link_resources = (res, v *. factor) :: List.remove_assoc res l.link_resources }
+           | _ -> l)
+  in
+  rebuild (Array.to_list (nodes t)) links
+
+let remove_link t link =
+  let links =
+    Array.to_list (links t) |> List.filter (fun l -> l.link_id <> link) |> renumber
+  in
+  rebuild (Array.to_list (nodes t)) links
+
+let fail_node t node =
+  let nodes =
+    Array.to_list (nodes t)
+    |> List.map (fun n ->
+           if n.node_id = node then
+             { n with node_resources = List.map (fun (r, _) -> (r, 0.)) n.node_resources }
+           else n)
+  in
+  let links =
+    Array.to_list (links t)
+    |> List.filter (fun l ->
+           let a, b = l.ends in
+           a <> node && b <> node)
+    |> renumber
+  in
+  rebuild nodes links

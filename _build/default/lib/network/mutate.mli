@@ -1,0 +1,28 @@
+(** Topology perturbations for adaptation experiments.
+
+    Redeployment scenarios (paper section 6) start from "the environment
+    changed": a link degraded, a node failed, capacity was re-provisioned.
+    These functions derive a new topology from an existing one; they never
+    mutate in place. *)
+
+open Topology
+
+(** [set_link_resource t link res v] returns a copy with the link's
+    resource set (added if absent). *)
+val set_link_resource : t -> link_id -> string -> float -> t
+
+(** [set_node_resource t node res v] likewise for a node. *)
+val set_node_resource : t -> node_id -> string -> float -> t
+
+(** [scale_links ?kind t res factor] multiplies [res] on every link (of
+    the given kind, default all) by [factor]. *)
+val scale_links : ?kind:link_kind -> t -> string -> float -> t
+
+(** [remove_link t link] deletes a link (remaining links are re-numbered
+    densely; returns the new topology). *)
+val remove_link : t -> link_id -> t
+
+(** [fail_node t node] models a node failure: its CPU-style resources all
+    drop to 0 and every incident link is removed.  The node itself remains
+    (ids stay stable). *)
+val fail_node : t -> node_id -> t

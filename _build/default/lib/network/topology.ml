@@ -1,0 +1,144 @@
+type node_id = int
+type link_id = int
+type link_kind = Lan | Wan
+
+type node = {
+  node_id : node_id;
+  node_name : string;
+  node_resources : (string * float) list;
+}
+
+type link = {
+  link_id : link_id;
+  ends : node_id * node_id;
+  kind : link_kind;
+  link_resources : (string * float) list;
+}
+
+type t = {
+  node_arr : node array;
+  link_arr : link array;
+  adj : (node_id * link_id) list array;
+}
+
+let default_cpu = 30.
+let default_lan_bw = 150.
+let default_wan_bw = 70.
+
+let node ?(cpu = default_cpu) ?(resources = []) id name =
+  {
+    node_id = id;
+    node_name = name;
+    node_resources = ("cpu", cpu) :: resources;
+  }
+
+let link ?bw ?(resources = []) kind id a b =
+  let bw =
+    match bw with
+    | Some bw -> bw
+    | None -> ( match kind with Lan -> default_lan_bw | Wan -> default_wan_bw)
+  in
+  { link_id = id; ends = (a, b); kind; link_resources = ("lbw", bw) :: resources }
+
+let make ~nodes ~links =
+  let node_arr = Array.of_list nodes in
+  let n = Array.length node_arr in
+  Array.iteri
+    (fun i nd ->
+      if nd.node_id <> i then
+        invalid_arg
+          (Printf.sprintf "Topology.make: node ids must be 0..n-1 (got %d at %d)"
+             nd.node_id i))
+    node_arr;
+  let link_arr = Array.of_list links in
+  Array.iteri
+    (fun i l ->
+      let a, b = l.ends in
+      if l.link_id <> i then
+        invalid_arg "Topology.make: link ids must be 0..m-1 in order";
+      if a < 0 || a >= n || b < 0 || b >= n then
+        invalid_arg "Topology.make: link endpoint out of range";
+      if a = b then invalid_arg "Topology.make: self-loop")
+    link_arr;
+  let adj = Array.make (max n 1) [] in
+  Array.iter
+    (fun l ->
+      let a, b = l.ends in
+      adj.(a) <- (b, l.link_id) :: adj.(a);
+      adj.(b) <- (a, l.link_id) :: adj.(b))
+    link_arr;
+  (* Deterministic neighbour order: by peer id then link id. *)
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { node_arr; link_arr; adj }
+
+let node_count t = Array.length t.node_arr
+let link_count t = Array.length t.link_arr
+let nodes t = t.node_arr
+let links t = t.link_arr
+
+let get_node t id =
+  if id < 0 || id >= node_count t then invalid_arg "Topology.get_node"
+  else t.node_arr.(id)
+
+let get_link t id =
+  if id < 0 || id >= link_count t then invalid_arg "Topology.get_link"
+  else t.link_arr.(id)
+
+let adjacent t id =
+  if id < 0 || id >= node_count t then invalid_arg "Topology.adjacent"
+  else t.adj.(id)
+
+let find_link t a b =
+  let rec scan = function
+    | [] -> None
+    | (peer, lid) :: rest -> if peer = b then Some (get_link t lid) else scan rest
+  in
+  if a < 0 || a >= node_count t then None else scan t.adj.(a)
+
+let node_resource t id name = List.assoc name (get_node t id).node_resources
+let link_resource t id name = List.assoc name (get_link t id).link_resources
+
+let peer t lid n =
+  let l = get_link t lid in
+  let a, b = l.ends in
+  if n = a then b
+  else if n = b then a
+  else invalid_arg "Topology.peer: node not an endpoint"
+
+let node_by_name t name =
+  match Array.find_opt (fun n -> String.equal n.node_name name) t.node_arr with
+  | Some n -> n
+  | None -> raise Not_found
+
+let is_connected t =
+  let n = node_count t in
+  if n = 0 then true
+  else begin
+    let seen = Array.make n false in
+    let rec dfs i =
+      if not seen.(i) then begin
+        seen.(i) <- true;
+        List.iter (fun (peer, _) -> dfs peer) t.adj.(i)
+      end
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let collect_names proj arr =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  Array.iter
+    (fun x ->
+      List.iter
+        (fun (name, _) ->
+          if not (Hashtbl.mem seen name) then begin
+            Hashtbl.add seen name ();
+            acc := name :: !acc
+          end)
+        (proj x))
+    arr;
+  List.rev !acc
+
+let node_resource_names t = collect_names (fun n -> n.node_resources) t.node_arr
+let link_resource_names t = collect_names (fun l -> l.link_resources) t.link_arr

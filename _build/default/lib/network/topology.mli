@@ -1,0 +1,78 @@
+(** Network model: nodes with computational resources, links with
+    communication resources.
+
+    The CPP's environment (paper section 2.1) is a wide-area network whose
+    nodes carry resources such as CPU and whose links carry resources such
+    as bandwidth.  Links are undirected with capacity shared between
+    directions; the paper's evaluation distinguishes LAN links (bandwidth
+    150) from WAN links (bandwidth 70), and the Table 2 "reserved LAN bw"
+    column aggregates consumption per link class. *)
+
+type node_id = int
+type link_id = int
+type link_kind = Lan | Wan
+
+type node = {
+  node_id : node_id;
+  node_name : string;
+  node_resources : (string * float) list;  (** e.g. [("cpu", 30.)] *)
+}
+
+type link = {
+  link_id : link_id;
+  ends : node_id * node_id;
+  kind : link_kind;
+  link_resources : (string * float) list;  (** e.g. [("lbw", 150.)] *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+(** [make ~nodes ~links] builds a topology.  Node ids must be exactly
+    [0 .. n-1]; link endpoints must be valid and distinct.
+    @raise Invalid_argument otherwise. *)
+val make : nodes:node list -> links:link list -> t
+
+(** Convenience node/link constructors with the paper's defaults
+    (CPU 30, LAN bandwidth 150, WAN bandwidth 70). *)
+val node : ?cpu:float -> ?resources:(string * float) list -> int -> string -> node
+
+val link :
+  ?bw:float -> ?resources:(string * float) list -> link_kind -> int -> int -> int -> link
+
+(** {1 Access} *)
+
+val node_count : t -> int
+val link_count : t -> int
+val nodes : t -> node array
+val links : t -> link array
+val get_node : t -> node_id -> node
+val get_link : t -> link_id -> link
+
+(** Neighbours with the connecting link: [(peer, link_id)] list. *)
+val adjacent : t -> node_id -> (node_id * link_id) list
+
+(** The (lowest-id) link joining two nodes, if any; symmetric. *)
+val find_link : t -> node_id -> node_id -> link option
+
+(** [node_resource t id name] looks up a node resource.
+    @raise Not_found when absent. *)
+val node_resource : t -> node_id -> string -> float
+
+(** [link_resource t id name] looks up a link resource.
+    @raise Not_found when absent. *)
+val link_resource : t -> link_id -> string -> float
+
+(** The other endpoint of a link. *)
+val peer : t -> link_id -> node_id -> node_id
+
+(** [node_by_name t name] finds a node by name.  @raise Not_found *)
+val node_by_name : t -> string -> node
+
+val is_connected : t -> bool
+
+(** All resource names appearing on any node (resp. link). *)
+val node_resource_names : t -> string list
+
+val link_resource_names : t -> string list

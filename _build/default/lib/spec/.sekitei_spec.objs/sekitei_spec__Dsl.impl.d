@@ -1,0 +1,1 @@
+lib/spec/dsl.ml: Array Buffer Fun Hashtbl Leveling List Model Option Printf Sekitei_expr Sekitei_network Str_split String

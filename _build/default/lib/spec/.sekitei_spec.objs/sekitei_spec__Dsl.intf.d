@@ -1,0 +1,1 @@
+lib/spec/dsl.mli: Leveling Model Sekitei_network

@@ -1,0 +1,1 @@
+lib/spec/leveling.ml: Float Format Hashtbl List Model Option Sekitei_expr Sekitei_util String

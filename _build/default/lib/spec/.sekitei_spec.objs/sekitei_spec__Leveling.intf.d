@@ -1,0 +1,1 @@
+lib/spec/leveling.mli: Format Model Sekitei_util

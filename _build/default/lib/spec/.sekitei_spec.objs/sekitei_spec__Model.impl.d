@@ -1,0 +1,1 @@
+lib/spec/model.ml: Format List Sekitei_expr Sekitei_network String

@@ -1,0 +1,1 @@
+lib/spec/model.mli: Format Sekitei_expr Sekitei_network

@@ -1,0 +1,1 @@
+lib/spec/str_split.ml: String

@@ -1,0 +1,1 @@
+lib/spec/validate.ml: Array Format List Model Printf Sekitei_expr Sekitei_network String

@@ -1,0 +1,1 @@
+lib/spec/validate.mli: Format Model Sekitei_network

@@ -1,0 +1,10 @@
+let split_once s sep =
+  let n = String.length s and m = String.length sep in
+  if m = 0 then invalid_arg "Str_split.split_once: empty separator";
+  let rec find i =
+    if i + m > n then None
+    else if String.sub s i m = sep then
+      Some (String.sub s 0 i, String.sub s (i + m) (n - i - m))
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,5 @@
+(** Tiny string-splitting helper shared by the DSL parser (the stdlib has
+    no substring split). *)
+
+(** [split_once s sep] splits at the first occurrence of [sep]. *)
+val split_once : string -> string -> (string * string) option

@@ -1,0 +1,17 @@
+(** Static well-formedness checks for CPP specifications.
+
+    Run before compilation: catches dangling interface references,
+    formulae over unknown variables, non-monotone effect formulae (the
+    planner's endpoint evaluation assumes monotonicity, paper section 2.2),
+    and goals naming unknown components or out-of-range nodes. *)
+
+type issue = { where : string; what : string }
+
+val pp_issue : Format.formatter -> issue -> unit
+
+(** Full check of an application against a topology; empty list = valid. *)
+val check : Sekitei_network.Topology.t -> Model.app -> issue list
+
+(** [check_exn topo app] raises [Invalid_argument] with a readable summary
+    when the spec is invalid. *)
+val check_exn : Sekitei_network.Topology.t -> Model.app -> unit

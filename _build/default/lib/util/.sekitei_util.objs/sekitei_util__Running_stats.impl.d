@@ -1,0 +1,1 @@
+lib/util/running_stats.ml: Array Float List

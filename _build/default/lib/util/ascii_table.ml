@@ -1,0 +1,76 @@
+type align = Left | Right | Center
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+  arity : int;
+}
+
+let create ?aligns headers =
+  let arity = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = arity -> a
+    | Some _ -> invalid_arg "Ascii_table.create: aligns arity mismatch"
+    | None -> List.map (fun _ -> Left) headers
+  in
+  { headers; aligns; rows = []; arity }
+
+let add_row t cells =
+  if List.length cells <> t.arity then
+    invalid_arg "Ascii_table.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+    | Center ->
+        let left = (width - n) / 2 in
+        String.make left ' ' ^ s ^ String.make (width - n - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  List.iter (function Cells c -> update c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let hline () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit aligns cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf ("| " ^ pad a widths.(i) c ^ " "))
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  hline ();
+  emit (List.map (fun _ -> Center) t.headers) t.headers;
+  hline ();
+  List.iter
+    (function Cells c -> emit t.aligns c | Separator -> hline ())
+    rows;
+  hline ();
+  Buffer.contents buf
+
+let render_rows ?aligns headers rows =
+  let t = create ?aligns headers in
+  List.iter (add_row t) rows;
+  render t
+
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.2f" x

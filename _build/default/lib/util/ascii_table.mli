@@ -1,0 +1,27 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    The evaluation harness reprints the paper's Table 1 and Table 2 rows;
+    this module renders aligned ASCII tables from string cells. *)
+
+type align = Left | Right | Center
+
+type t
+
+(** [create headers] starts a table; every later row must have the same
+    arity as [headers]. *)
+val create : ?aligns:align list -> string list -> t
+
+(** Append a row.  @raise Invalid_argument on arity mismatch. *)
+val add_row : t -> string list -> unit
+
+(** Append a horizontal separator between row groups. *)
+val add_separator : t -> unit
+
+(** Render with box-drawing in pure ASCII ([+---+]). *)
+val render : t -> string
+
+(** [render_rows headers rows] is a one-shot convenience wrapper. *)
+val render_rows : ?aligns:align list -> string list -> string list list -> string
+
+(** Format a float compactly ("63", "72.85", "4057.1"). *)
+val float_cell : float -> string

@@ -1,0 +1,88 @@
+type 'a entry = { prio : float; prio2 : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create_sized n = { data = Array.make (max n 8) None; size = 0; next_seq = 0 }
+let create () = create_sized 16
+let is_empty h = h.size = 0
+let length h = h.size
+let insertions h = h.next_seq
+
+(* An entry [a] sorts before [b] on smaller priority, then smaller
+   insertion sequence number. *)
+let before a b =
+  a.prio < b.prio
+  || (a.prio = b.prio
+      && (a.prio2 < b.prio2 || (a.prio2 = b.prio2 && a.seq < b.seq)))
+
+let get h i =
+  match h.data.(i) with
+  | Some e -> e
+  | None -> assert false
+
+let grow h =
+  let data = Array.make (2 * Array.length h.data) None in
+  Array.blit h.data 0 data 0 h.size;
+  h.data <- data
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before (get h i) (get h parent) then begin
+      let tmp = h.data.(i) in
+      h.data.(i) <- h.data.(parent);
+      h.data.(parent) <- tmp;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && before (get h l) (get h !smallest) then smallest := l;
+  if r < h.size && before (get h r) (get h !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = h.data.(i) in
+    h.data.(i) <- h.data.(!smallest);
+    h.data.(!smallest) <- tmp;
+    sift_down h !smallest
+  end
+
+let add h ~prio ?(prio2 = 0.) value =
+  if Float.is_nan prio then invalid_arg "Heap.add: NaN priority";
+  if h.size = Array.length h.data then grow h;
+  h.data.(h.size) <- Some { prio; prio2; seq = h.next_seq; value };
+  h.next_seq <- h.next_seq + 1;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    let e = get h 0 in
+    Some (e.value, e.prio)
+
+let pop h =
+  if h.size = 0 then None
+  else begin
+    let top = get h 0 in
+    h.size <- h.size - 1;
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    if h.size > 0 then sift_down h 0;
+    Some (top.value, top.prio)
+  end
+
+let pop_exn h = match pop h with Some x -> x | None -> raise Not_found
+
+let clear h =
+  Array.fill h.data 0 (Array.length h.data) None;
+  h.size <- 0
+
+let to_sorted_list h =
+  let rec drain acc = match pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  drain []

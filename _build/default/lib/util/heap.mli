@@ -1,0 +1,40 @@
+(** Imperative binary min-heap with float priorities and deterministic
+    tie-breaking.
+
+    The planner's A* searches (SLRG and RG, paper section 3.2) must be
+    reproducible run-to-run, so equal priorities are broken by insertion
+    order (FIFO). *)
+
+type 'a t
+
+(** [create ()] is an empty heap. *)
+val create : unit -> 'a t
+
+(** [create_sized n] pre-allocates room for [n] elements. *)
+val create_sized : int -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+(** [add h ~prio ?prio2 x] inserts [x] with priority [prio]; [prio2]
+    (default 0) breaks priority ties before insertion order — A* searches
+    pass [-g] to prefer deeper nodes on f-plateaus. *)
+val add : 'a t -> prio:float -> ?prio2:float -> 'a -> unit
+
+(** Minimum-priority element, FIFO among ties.  [None] when empty. *)
+val peek : 'a t -> ('a * float) option
+
+(** Remove and return the minimum. *)
+val pop : 'a t -> ('a * float) option
+
+(** [pop_exn h] is [pop] but raises [Not_found] when empty. *)
+val pop_exn : 'a t -> 'a * float
+
+val clear : 'a t -> unit
+
+(** Total number of insertions performed over the heap's lifetime (search
+    statistics). *)
+val insertions : 'a t -> int
+
+(** Drain the heap into a priority-sorted list (ascending). *)
+val to_sorted_list : 'a t -> ('a * float) list

@@ -1,0 +1,17 @@
+(** Wall-clock timing helpers for planner-phase instrumentation.
+
+    The paper's Table 2 reports total planning time and search-only time
+    separately; the planner threads one {!t} per phase. *)
+
+type t
+
+val start : unit -> t
+
+(** Elapsed seconds since [start]. *)
+val elapsed_s : t -> float
+
+(** Elapsed milliseconds since [start] (the paper reports ms). *)
+val elapsed_ms : t -> float
+
+(** [time f] runs [f ()] and returns its result with elapsed milliseconds. *)
+val time : (unit -> 'a) -> 'a * float

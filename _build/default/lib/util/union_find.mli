@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.
+
+    Used to check connectivity of generated topologies and to wire up the
+    transit-stub generator's spanning structure. *)
+
+type t
+
+(** [create n] makes [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+val find : t -> int -> int
+
+(** [union t a b] merges the two sets; returns [true] when they were
+    previously distinct. *)
+val union : t -> int -> int -> bool
+
+val same : t -> int -> int -> bool
+
+(** Number of distinct sets remaining. *)
+val count : t -> int

@@ -1,0 +1,5 @@
+  $ sekitei plan --network tiny --levels C | head -10
+  $ sekitei plan --network tiny --levels A > /dev/null 2>&1
+  $ sekitei validate spec.file
+  $ sekitei plan --spec spec.file | head -6
+  $ sekitei table1 | grep "| C"

@@ -1,0 +1,1 @@
+test/test_core_compile.ml: Alcotest Array Fun List Option Printf Sekitei_core Sekitei_domains Sekitei_network Sekitei_spec Sekitei_util String

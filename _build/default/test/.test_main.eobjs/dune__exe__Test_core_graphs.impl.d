@@ -1,0 +1,1 @@
+test/test_core_graphs.ml: Alcotest Array Float List Sekitei_core Sekitei_domains Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+test/test_core_replay.ml: Alcotest Array List Sekitei_core Sekitei_domains Sekitei_network Sekitei_spec Sekitei_util

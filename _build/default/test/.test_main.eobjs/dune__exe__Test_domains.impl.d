@@ -1,0 +1,1 @@
+test/test_domains.ml: Alcotest Fun List Option Sekitei_core Sekitei_domains Sekitei_harness Sekitei_network Sekitei_spec Sekitei_util String

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest List Option Sekitei_core Sekitei_domains Sekitei_expr Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Float Format List Sekitei_expr Sekitei_util

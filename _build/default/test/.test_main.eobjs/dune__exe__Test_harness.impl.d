@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest List Sekitei_core Sekitei_domains Sekitei_harness Sekitei_network Sekitei_spec String

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float Fun List Sekitei_util

@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Float List Printf Sekitei_util

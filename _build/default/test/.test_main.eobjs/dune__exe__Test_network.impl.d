@@ -1,0 +1,1 @@
+test/test_network.ml: Alcotest Array List Printf Sekitei_network Sekitei_spec Sekitei_util

@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Array Float List Option Result Sekitei_core Sekitei_domains Sekitei_expr Sekitei_harness Sekitei_network Sekitei_spec

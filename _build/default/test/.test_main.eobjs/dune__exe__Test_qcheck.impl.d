@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Float Int64 List Printf QCheck QCheck_alcotest Sekitei_core Sekitei_domains Sekitei_expr Sekitei_network Sekitei_spec Sekitei_util

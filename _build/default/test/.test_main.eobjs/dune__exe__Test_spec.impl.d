@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Float List Option Sekitei_domains Sekitei_expr Sekitei_network Sekitei_spec Sekitei_util

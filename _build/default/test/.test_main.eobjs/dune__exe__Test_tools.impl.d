@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array List Sekitei_core Sekitei_domains Sekitei_harness Sekitei_network Sekitei_spec

@@ -1,0 +1,1 @@
+test/test_util_misc.ml: Alcotest List Sekitei_spec Sekitei_util String

@@ -1,0 +1,36 @@
+The CLI plans the paper's Tiny instance with scenario C levels:
+
+  $ sekitei plan --network tiny --levels C | head -10
+  Planning Tiny with level scenario C...
+  Plan (7 actions, cost bound 52.45, realized cost 57.5):
+  place Splitter on n0,
+  place Zip on n0,
+  cross with Z stream from n0 to n1,
+  place Unzip on n1,
+  cross with I stream from n0 to n1,
+  place Merger on n1,
+  place Client on n1.
+  LAN peak 0, WAN peak 65; delivered:
+
+Scenario A (greedy) reports failure with a non-zero exit:
+
+  $ sekitei plan --network tiny --levels A > /dev/null 2>&1
+  [1]
+
+Spec files validate and plan:
+
+  $ sekitei validate spec.file
+  specification is valid
+
+  $ sekitei plan --spec spec.file | head -6
+  Plan (4 actions, cost bound 9.6, realized cost 11):
+  place Encode on cam,
+  cross with E stream from cam to hub,
+  cross with E stream from hub to tv,
+  place Viewer on tv.
+  LAN peak 10, WAN peak 10; delivered:
+
+Table 1 prints the level scenarios:
+
+  $ sekitei table1 | grep "| C"
+  | C        | [0,90), [90,100), [100,inf)                   | [0,inf)                   |

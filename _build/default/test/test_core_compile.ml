@@ -1,0 +1,277 @@
+(* Unit tests for Sekitei_core.Prop and Sekitei_core.Compile: interning,
+   grounding, leveling, pruning, the initial state and goal rewriting. *)
+
+module Prop = Sekitei_core.Prop
+module Action = Sekitei_core.Action
+module Compile = Sekitei_core.Compile
+module Problem = Sekitei_core.Problem
+module Model = Sekitei_spec.Model
+module Leveling = Sekitei_spec.Leveling
+module Media = Sekitei_domains.Media
+module G = Sekitei_network.Generators
+module T = Sekitei_network.Topology
+module I = Sekitei_util.Interval
+
+(* ---------------- Prop interner ---------------- *)
+
+let test_prop_roundtrip () =
+  let t = Prop.create ~n_comps:3 ~n_nodes:4 ~levels_per_iface:[| 2; 5 |] in
+  let all = List.init (Prop.count t) Fun.id in
+  List.iter
+    (fun id ->
+      Alcotest.(check int) "id round-trip" id (Prop.id t (Prop.of_id t id)))
+    all
+
+let test_prop_count () =
+  let t = Prop.create ~n_comps:3 ~n_nodes:4 ~levels_per_iface:[| 2; 5 |] in
+  Alcotest.(check int) "count" ((3 * 4) + (4 * 2) + (4 * 5)) (Prop.count t)
+
+let test_prop_distinct () =
+  let t = Prop.create ~n_comps:2 ~n_nodes:3 ~levels_per_iface:[| 3 |] in
+  let ids =
+    List.concat
+      [
+        List.concat_map
+          (fun c -> List.init 3 (fun n -> Prop.placed_id t ~comp:c ~node:n))
+          [ 0; 1 ];
+        List.concat_map
+          (fun n -> List.init 3 (fun l -> Prop.avail_id t ~iface:0 ~node:n ~level:l))
+          [ 0; 1; 2 ];
+      ]
+  in
+  Alcotest.(check int) "all distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* ---------------- compile: shared fixtures ---------------- *)
+
+let tiny_topo () = G.line_kinds [ T.Wan ]
+let app () = Media.app ~server:0 ~client:1 ()
+
+let compile_with level =
+  let app = app () in
+  Compile.compile (tiny_topo ()) app (Media.leveling level app)
+
+let test_action_counts_grow () =
+  let count level = Array.length (compile_with level).Problem.actions in
+  let a = count Media.A and b = count Media.B and c = count Media.C in
+  let d = count Media.D and e = count Media.E in
+  Alcotest.(check bool) "A < B" true (a < b);
+  Alcotest.(check bool) "B < C" true (b < c);
+  Alcotest.(check bool) "C < D" true (c < d);
+  Alcotest.(check bool) "D < E (link leveling multiplies)" true (d < e)
+
+let test_greedy_single_level () =
+  let pb = compile_with Media.A in
+  Array.iter
+    (fun levels ->
+      Alcotest.(check int) "one level per iface" 1 (Array.length levels))
+    pb.Problem.iface_levels
+
+let test_initial_state () =
+  let pb = compile_with Media.C in
+  let server = Problem.comp_index pb "Server" in
+  let m = Problem.iface_index pb "M" in
+  Alcotest.(check bool) "server placed" true
+    pb.Problem.init.(Prop.placed_id pb.Problem.props ~comp:server ~node:0);
+  (* M degradable with capacity 200: every level is initially available
+     on the server node, none on the client node. *)
+  for level = 0 to Array.length pb.Problem.iface_levels.(m) - 1 do
+    Alcotest.(check bool) "avail at server" true
+      pb.Problem.init.(Prop.avail_id pb.Problem.props ~iface:m ~node:0 ~level);
+    Alcotest.(check bool) "not at client" false
+      pb.Problem.init.(Prop.avail_id pb.Problem.props ~iface:m ~node:1 ~level)
+  done
+
+let test_sources () =
+  let pb = compile_with Media.C in
+  match pb.Problem.sources with
+  | [ s ] ->
+      Alcotest.(check int) "server node" 0 s.Problem.src_node;
+      Alcotest.(check (float 0.)) "capacity" 200. (I.hi s.Problem.src_interval)
+  | _ -> Alcotest.fail "expected one source"
+
+let test_iface_max () =
+  let pb = compile_with Media.C in
+  let check name v =
+    Alcotest.(check (float 1e-6)) name v
+      pb.Problem.iface_max.(Problem.iface_index pb name)
+  in
+  check "M" 200.;
+  check "T" 140.;
+  check "I" 60.;
+  check "Z" 70.
+
+let test_cross_dominance_pruning () =
+  (* No cross action carries M at a level whose infimum exceeds the link
+     capacity of 70: those would degrade to a lower level and are
+     dominance-pruned (the paper's example). *)
+  let pb = compile_with Media.C in
+  let m = Problem.iface_index pb "M" in
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Cross { iface; _ } when iface = m ->
+          Array.iter
+            (fun (_, ivl) ->
+              Alcotest.(check bool)
+                (Printf.sprintf "M cross input %s below capacity"
+                   (I.to_string ivl))
+                true
+                (I.lo ivl < 70.))
+            a.Action.in_levels
+      | _ -> ())
+    pb.Problem.actions
+
+let test_place_actions_per_node () =
+  let pb = compile_with Media.B in
+  (* The anchored Server gets no place actions. *)
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Place { comp; _ } ->
+          Alcotest.(check bool) "never places Server" false
+            (String.equal pb.Problem.comps.(comp).Model.comp_name "Server")
+      | Action.Cross _ -> ())
+    pb.Problem.actions
+
+let test_merger_ratio_pruning () =
+  (* Merger in-level combinations must satisfy T*3 == I*7, which keeps
+     only the diagonal pairs. *)
+  let pb = compile_with Media.C in
+  let merger = Problem.comp_index pb "Merger" in
+  let t_i = Problem.iface_index pb "T" and i_i = Problem.iface_index pb "I" in
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Place { comp; _ } when comp = merger ->
+          let level_of iface =
+            Array.to_list a.Action.in_levels
+            |> List.find_map (fun (i, ivl) -> if i = iface then Some ivl else None)
+            |> Option.get
+          in
+          let t_ivl = level_of t_i and i_ivl = level_of i_i in
+          (* proportional: T bounds = 7/3 of I bounds *)
+          Alcotest.(check (float 1e-6)) "diagonal levels"
+            (I.lo t_ivl *. 3.)
+            (I.lo i_ivl *. 7.)
+      | _ -> ())
+    pb.Problem.actions
+
+let test_add_closure_degradable () =
+  (* A cross achieving level 1 of a degradable stream also supports level
+     0 via its add-closure. *)
+  let pb = compile_with Media.C in
+  let m = Problem.iface_index pb "M" in
+  let found = ref false in
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Cross { iface; dst; _ } when iface = m ->
+          Array.iter
+            (fun pid ->
+              match Prop.of_id pb.Problem.props pid with
+              | Prop.Avail (_, _, l) when l >= 1 ->
+                  found := true;
+                  let lower =
+                    Prop.avail_id pb.Problem.props ~iface:m ~node:dst ~level:(l - 1)
+                  in
+                  Alcotest.(check bool) "closure includes lower level" true
+                    (Array.exists (fun q -> q = lower) a.Action.add_closure)
+              | _ -> ())
+            a.Action.add
+      | _ -> ())
+    pb.Problem.actions;
+  ignore !found
+
+let test_supports_consistency () =
+  (* supports is the inverse of add_closure. *)
+  let pb = compile_with Media.B in
+  Array.iteri
+    (fun pid actions ->
+      List.iter
+        (fun aid ->
+          Alcotest.(check bool) "support really adds" true
+            (Array.exists (fun q -> q = pid)
+               pb.Problem.actions.(aid).Action.add_closure))
+        actions)
+    pb.Problem.supports
+
+let test_costs_nonnegative () =
+  let pb = compile_with Media.E in
+  Array.iter
+    (fun (a : Action.t) ->
+      Alcotest.(check bool) "cost bound >= 0" true (a.Action.cost_lb >= 0.))
+    pb.Problem.actions
+
+let test_available_goal_rewritten () =
+  let app = app () in
+  let app =
+    { app with Model.goals = [ Model.Available ("M", "ibw", 1, 90.) ] }
+  in
+  let pb = Compile.compile (tiny_topo ()) app (Media.leveling Media.C app) in
+  Alcotest.(check int) "one goal prop" 1 (Array.length pb.Problem.goal_props);
+  (* ... and a synthetic sink component exists, placeable only on node 1 *)
+  let sink =
+    Array.to_list pb.Problem.comps
+    |> List.find_opt (fun (c : Model.component) ->
+           String.length c.Model.comp_name >= 6
+           && String.sub c.Model.comp_name 0 6 = "__goal")
+  in
+  Alcotest.(check bool) "sink exists" true (sink <> None);
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Place { comp; node }
+        when String.length pb.Problem.comps.(comp).Model.comp_name >= 6
+             && String.sub pb.Problem.comps.(comp).Model.comp_name 0 6 = "__goal"
+        ->
+          Alcotest.(check int) "sink restricted to goal node" 1 node
+      | _ -> ())
+    pb.Problem.actions
+
+let test_preplaced_with_requires_rejected () =
+  let app = app () in
+  let bad = { app with Model.pre_placed = [ ("Client", 0) ] } in
+  Alcotest.(check bool) "compile error" true
+    (try
+       ignore (Compile.compile (tiny_topo ()) bad (Media.leveling Media.A bad));
+       false
+     with Compile.Compile_error _ -> true)
+
+let test_checked_link_levels_scenario_e () =
+  (* Scenario E actions carry checked link-bandwidth levels. *)
+  let pb = compile_with Media.E in
+  let has_checked =
+    Array.exists
+      (fun (a : Action.t) -> Array.length a.Action.checked_link > 0)
+      pb.Problem.actions
+  in
+  Alcotest.(check bool) "checked link levels present" true has_checked;
+  (* ... while scenario C actions carry none. *)
+  let pb_c = compile_with Media.C in
+  Array.iter
+    (fun (a : Action.t) ->
+      Alcotest.(check int) "no checked levels in C" 0
+        (Array.length a.Action.checked_link))
+    pb_c.Problem.actions
+
+let suite =
+  [
+    ("prop round-trip", `Quick, test_prop_roundtrip);
+    ("prop count", `Quick, test_prop_count);
+    ("prop distinct", `Quick, test_prop_distinct);
+    ("action counts grow with levels", `Quick, test_action_counts_grow);
+    ("greedy single level", `Quick, test_greedy_single_level);
+    ("initial state", `Quick, test_initial_state);
+    ("sources", `Quick, test_sources);
+    ("iface max fixpoint", `Quick, test_iface_max);
+    ("cross dominance pruning", `Quick, test_cross_dominance_pruning);
+    ("anchored components not placed", `Quick, test_place_actions_per_node);
+    ("merger ratio pruning", `Quick, test_merger_ratio_pruning);
+    ("degradable add closure", `Quick, test_add_closure_degradable);
+    ("supports consistency", `Quick, test_supports_consistency);
+    ("costs non-negative", `Quick, test_costs_nonnegative);
+    ("available goal rewritten", `Quick, test_available_goal_rewritten);
+    ("pre-placed with requires rejected", `Quick, test_preplaced_with_requires_rejected);
+    ("checked link levels (E)", `Quick, test_checked_link_levels_scenario_e);
+  ]

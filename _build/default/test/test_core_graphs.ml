@@ -1,0 +1,180 @@
+(* Unit tests for Sekitei_core.Plrg and Sekitei_core.Slrg. *)
+
+module Compile = Sekitei_core.Compile
+module Problem = Sekitei_core.Problem
+module Prop = Sekitei_core.Prop
+module Plrg = Sekitei_core.Plrg
+module Slrg = Sekitei_core.Slrg
+module Media = Sekitei_domains.Media
+module Model = Sekitei_spec.Model
+module G = Sekitei_network.Generators
+module T = Sekitei_network.Topology
+
+let tiny level =
+  let app = Media.app ~server:0 ~client:1 () in
+  Compile.compile (G.line_kinds [ T.Wan ]) app (Media.leveling level app)
+
+let test_init_props_cost_zero () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  Array.iteri
+    (fun pid holds ->
+      if holds then
+        Alcotest.(check (float 0.)) "init prop free" 0. (Plrg.cost plrg pid))
+    pb.Problem.init
+
+let test_goal_reachable () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  Alcotest.(check bool) "reachable" true (Plrg.goals_reachable plrg);
+  Array.iter
+    (fun g ->
+      Alcotest.(check bool) "finite goal cost" true
+        (Float.is_finite (Plrg.cost plrg g)))
+    pb.Problem.goal_props
+
+let test_goal_unreachable_partitioned () =
+  (* No links at all: the client node can never receive M. *)
+  let app = Media.app ~server:0 ~client:1 () in
+  let topo = T.make ~nodes:[ T.node 0 "n0"; T.node 1 "n1" ] ~links:[] in
+  let pb = Compile.compile topo app (Media.leveling Media.C app) in
+  let plrg = Plrg.build pb in
+  Alcotest.(check bool) "unreachable" false (Plrg.goals_reachable plrg)
+
+let test_costs_admissible () =
+  (* PLRG costs are lower bounds: the known 7-action plan costs 52.45,
+     and the goal's PLRG estimate must not exceed it. *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let goal = pb.Problem.goal_props.(0) in
+  Alcotest.(check bool) "cost admissible" true (Plrg.cost plrg goal <= 52.45 +. 1e-9)
+
+let test_costs_monotone_structure () =
+  (* Availability of M on the far node costs strictly more than on the
+     server node (it needs at least one action). *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let m = Problem.iface_index pb "M" in
+  let near = Prop.avail_id pb.Problem.props ~iface:m ~node:0 ~level:2 in
+  let far = Prop.avail_id pb.Problem.props ~iface:m ~node:1 ~level:2 in
+  Alcotest.(check (float 0.)) "near free" 0. (Plrg.cost plrg near);
+  Alcotest.(check bool) "far costs" true (Plrg.cost plrg far > 0.)
+
+let test_relevant_actions_subset () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let relevant = Plrg.relevant_actions plrg in
+  Alcotest.(check bool) "nonempty" true (relevant <> []);
+  Alcotest.(check bool) "subset of all" true
+    (List.for_all (fun aid -> aid >= 0 && aid < Array.length pb.Problem.actions) relevant);
+  List.iter
+    (fun aid ->
+      Alcotest.(check bool) "flag agrees" true (Plrg.action_relevant plrg aid))
+    relevant
+
+let test_stats_counts () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let props, actions = Plrg.stats plrg in
+  Alcotest.(check bool) "props positive" true (props > 0);
+  Alcotest.(check int) "action count matches list" actions
+    (List.length (Plrg.relevant_actions plrg))
+
+(* ---------------- SLRG ---------------- *)
+
+let test_slrg_empty_set () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  Alcotest.(check (float 0.)) "empty set free" 0. (Slrg.query slrg [])
+
+let test_slrg_init_set () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let server = Problem.comp_index pb "Server" in
+  let placed = Prop.placed_id pb.Problem.props ~comp:server ~node:0 in
+  Alcotest.(check (float 0.)) "init prop free" 0. (Slrg.query slrg [ placed ])
+
+let test_slrg_at_least_plrg () =
+  (* The SLRG estimate dominates the PLRG estimate (it accounts for
+     serialization). *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  Alcotest.(check bool) "slrg >= plrg" true
+    (Slrg.query slrg [ goal ] >= Plrg.cost plrg goal -. 1e-9)
+
+let test_slrg_admissible () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  (* The real optimal plan bound is 52.45. *)
+  Alcotest.(check bool) "admissible" true (Slrg.query slrg [ goal ] <= 52.45 +. 1e-9)
+
+let test_slrg_set_cost_exceeds_singletons () =
+  (* Achieving two distant props together costs at least as much as the
+     dearest one alone. *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let t = Problem.iface_index pb "T" and i = Problem.iface_index pb "I" in
+  let pt = Prop.avail_id pb.Problem.props ~iface:t ~node:1 ~level:1 in
+  let pi = Prop.avail_id pb.Problem.props ~iface:i ~node:1 ~level:1 in
+  let both = Slrg.query slrg [ pt; pi ] in
+  Alcotest.(check bool) "pair >= each" true
+    (both >= Slrg.query slrg [ pt ] -. 1e-9
+    && both >= Slrg.query slrg [ pi ] -. 1e-9)
+
+let test_slrg_memoized () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  let first = Slrg.query slrg [ goal ] in
+  let nodes_after_first = Slrg.nodes_generated slrg in
+  let second = Slrg.query slrg [ goal ] in
+  Alcotest.(check (float 0.)) "same answer" first second;
+  Alcotest.(check int) "no new nodes" nodes_after_first (Slrg.nodes_generated slrg)
+
+let test_slrg_unreachable_infinite () =
+  let app = Media.app ~server:0 ~client:1 () in
+  let topo = T.make ~nodes:[ T.node 0 "n0"; T.node 1 "n1" ] ~links:[] in
+  let pb = Compile.compile topo app (Media.leveling Media.C app) in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  Alcotest.(check bool) "infinite" false
+    (Float.is_finite (Slrg.query slrg [ goal ]))
+
+let test_slrg_budget_fallback_admissible () =
+  (* With an absurdly small budget the query still returns an admissible
+     bound (>= the PLRG value, <= the true optimum). *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create ~query_budget:1 pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  let v = Slrg.query slrg [ goal ] in
+  Alcotest.(check bool) "between plrg and optimum" true
+    (v >= Plrg.cost plrg goal -. 1e-9 && v <= 52.45 +. 1e-9)
+
+let suite =
+  [
+    ("plrg init props cost zero", `Quick, test_init_props_cost_zero);
+    ("plrg goal reachable", `Quick, test_goal_reachable);
+    ("plrg goal unreachable partitioned", `Quick, test_goal_unreachable_partitioned);
+    ("plrg admissible", `Quick, test_costs_admissible);
+    ("plrg cost structure", `Quick, test_costs_monotone_structure);
+    ("plrg relevant actions", `Quick, test_relevant_actions_subset);
+    ("plrg stats", `Quick, test_stats_counts);
+    ("slrg empty set", `Quick, test_slrg_empty_set);
+    ("slrg init set", `Quick, test_slrg_init_set);
+    ("slrg dominates plrg", `Quick, test_slrg_at_least_plrg);
+    ("slrg admissible", `Quick, test_slrg_admissible);
+    ("slrg set vs singletons", `Quick, test_slrg_set_cost_exceeds_singletons);
+    ("slrg memoized", `Quick, test_slrg_memoized);
+    ("slrg unreachable infinite", `Quick, test_slrg_unreachable_infinite);
+    ("slrg budget fallback", `Quick, test_slrg_budget_fallback_admissible);
+  ]

@@ -1,0 +1,101 @@
+(* Unit tests for Sekitei_util.Heap: ordering, FIFO tie-breaking,
+   secondary priority, growth. *)
+
+module Heap = Sekitei_util.Heap
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check (option (pair string (float 0.)))) "peek" None (Heap.peek h);
+  Alcotest.(check (option (pair string (float 0.)))) "pop" None (Heap.pop h)
+
+let test_single () =
+  let h = Heap.create () in
+  Heap.add h ~prio:3. "x";
+  Alcotest.(check (option (pair string (float 0.)))) "peek" (Some ("x", 3.))
+    (Heap.peek h);
+  Alcotest.(check int) "length after peek" 1 (Heap.length h);
+  Alcotest.(check (option (pair string (float 0.)))) "pop" (Some ("x", 3.))
+    (Heap.pop h);
+  Alcotest.(check bool) "empty after pop" true (Heap.is_empty h)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun (p, v) -> Heap.add h ~prio:p v)
+    [ (5., "e"); (1., "a"); (3., "c"); (2., "b"); (4., "d") ];
+  let drained = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "ascending" [ "a"; "b"; "c"; "d"; "e" ] drained
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  List.iter (fun v -> Heap.add h ~prio:1. v) [ "first"; "second"; "third" ];
+  let drained = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list string)) "insertion order among ties"
+    [ "first"; "second"; "third" ] drained
+
+let test_prio2 () =
+  let h = Heap.create () in
+  Heap.add h ~prio:1. ~prio2:0. "shallow";
+  Heap.add h ~prio:1. ~prio2:(-5.) "deep";
+  Alcotest.(check (option (pair string (float 0.))))
+    "deeper (lower prio2) first" (Some ("deep", 1.)) (Heap.pop h)
+
+let test_growth () =
+  let h = Heap.create_sized 2 in
+  for i = 999 downto 0 do
+    Heap.add h ~prio:(float_of_int i) i
+  done;
+  Alcotest.(check int) "length" 1000 (Heap.length h);
+  let drained = List.map fst (Heap.to_sorted_list h) in
+  Alcotest.(check (list int)) "sorted" (List.init 1000 Fun.id) drained
+
+let test_insertions_counter () =
+  let h = Heap.create () in
+  Heap.add h ~prio:1. 1;
+  Heap.add h ~prio:2. 2;
+  ignore (Heap.pop h);
+  Alcotest.(check int) "insertions counts lifetime" 2 (Heap.insertions h)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.add h ~prio:1. 1;
+  Heap.clear h;
+  Alcotest.(check bool) "empty after clear" true (Heap.is_empty h)
+
+let test_nan_rejected () =
+  let h = Heap.create () in
+  Alcotest.check_raises "nan prio" (Invalid_argument "Heap.add: NaN priority")
+    (fun () -> Heap.add h ~prio:Float.nan 1)
+
+let test_pop_exn () =
+  let h = Heap.create () in
+  Alcotest.check_raises "pop_exn empty" Not_found (fun () ->
+      ignore (Heap.pop_exn h))
+
+let test_interleaved () =
+  (* Mixed adds and pops keep the min invariant. *)
+  let h = Heap.create () in
+  Heap.add h ~prio:5. 5;
+  Heap.add h ~prio:1. 1;
+  Alcotest.(check (option (pair int (float 0.)))) "pop 1" (Some (1, 1.)) (Heap.pop h);
+  Heap.add h ~prio:0. 0;
+  Heap.add h ~prio:9. 9;
+  Alcotest.(check (option (pair int (float 0.)))) "pop 0" (Some (0, 0.)) (Heap.pop h);
+  Alcotest.(check (option (pair int (float 0.)))) "pop 5" (Some (5, 5.)) (Heap.pop h);
+  Alcotest.(check (option (pair int (float 0.)))) "pop 9" (Some (9, 9.)) (Heap.pop h)
+
+let suite =
+  [
+    ("empty", `Quick, test_empty);
+    ("single", `Quick, test_single);
+    ("ordering", `Quick, test_ordering);
+    ("fifo ties", `Quick, test_fifo_ties);
+    ("secondary priority", `Quick, test_prio2);
+    ("growth", `Quick, test_growth);
+    ("insertions counter", `Quick, test_insertions_counter);
+    ("clear", `Quick, test_clear);
+    ("nan rejected", `Quick, test_nan_rejected);
+    ("pop_exn", `Quick, test_pop_exn);
+    ("interleaved", `Quick, test_interleaved);
+  ]

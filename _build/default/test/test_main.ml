@@ -1,0 +1,25 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "sekitei"
+    [
+      ("util.interval", Test_interval.suite);
+      ("util.heap", Test_heap.suite);
+      ("util.prng", Test_prng.suite);
+      ("util.misc", Test_util_misc.suite);
+      ("expr", Test_expr.suite);
+      ("network", Test_network.suite);
+      ("spec", Test_spec.suite);
+      ("spec.dsl", Test_dsl.suite);
+      ("core.compile", Test_core_compile.suite);
+      ("core.replay", Test_core_replay.suite);
+      ("core.graphs", Test_core_graphs.suite);
+      ("core.planner", Test_planner.suite);
+      ("domains", Test_domains.suite);
+      ("harness", Test_harness.suite);
+      ("core.planner.advanced", Test_planner_advanced.suite);
+      ("extensions", Test_extensions.suite);
+      ("tools", Test_tools.suite);
+      ("integration", Test_integration_extra.suite);
+      ("properties", Test_qcheck.suite);
+    ]

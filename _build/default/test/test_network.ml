@@ -1,0 +1,271 @@
+(* Unit tests for Sekitei_network: topology model, generators, routing,
+   DOT export. *)
+
+module T = Sekitei_network.Topology
+module G = Sekitei_network.Generators
+module R = Sekitei_network.Routing
+module Dot = Sekitei_network.Dot
+module Prng = Sekitei_util.Prng
+
+(* ---------------- topology ---------------- *)
+
+let small_topo () =
+  T.make
+    ~nodes:[ T.node 0 "a"; T.node ~cpu:60. 1 "b"; T.node 2 "c" ]
+    ~links:[ T.link T.Lan 0 0 1; T.link ~bw:40. T.Wan 1 1 2 ]
+
+let test_counts () =
+  let t = small_topo () in
+  Alcotest.(check int) "nodes" 3 (T.node_count t);
+  Alcotest.(check int) "links" 2 (T.link_count t)
+
+let test_resources () =
+  let t = small_topo () in
+  Alcotest.(check (float 0.)) "default cpu" 30. (T.node_resource t 0 "cpu");
+  Alcotest.(check (float 0.)) "custom cpu" 60. (T.node_resource t 1 "cpu");
+  Alcotest.(check (float 0.)) "lan default bw" 150. (T.link_resource t 0 "lbw");
+  Alcotest.(check (float 0.)) "custom bw" 40. (T.link_resource t 1 "lbw");
+  Alcotest.check_raises "missing resource" Not_found (fun () ->
+      ignore (T.node_resource t 0 "gpu"))
+
+let test_adjacency () =
+  let t = small_topo () in
+  Alcotest.(check (list (pair int int))) "middle node" [ (0, 0); (2, 1) ]
+    (T.adjacent t 1);
+  Alcotest.(check (list (pair int int))) "leaf" [ (1, 0) ] (T.adjacent t 0)
+
+let test_find_link () =
+  let t = small_topo () in
+  Alcotest.(check bool) "forward" true (T.find_link t 0 1 <> None);
+  Alcotest.(check bool) "symmetric" true (T.find_link t 1 0 <> None);
+  Alcotest.(check bool) "absent" true (T.find_link t 0 2 = None)
+
+let test_peer () =
+  let t = small_topo () in
+  Alcotest.(check int) "peer of 0 on link 0" 1 (T.peer t 0 0);
+  Alcotest.(check int) "peer of 1 on link 0" 0 (T.peer t 0 1)
+
+let test_node_by_name () =
+  let t = small_topo () in
+  Alcotest.(check int) "by name" 1 (T.node_by_name t "b").T.node_id;
+  Alcotest.check_raises "missing" Not_found (fun () ->
+      ignore (T.node_by_name t "zz"))
+
+let test_invalid_construction () =
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "bad node ids" true
+    (raises (fun () ->
+         ignore (T.make ~nodes:[ T.node 1 "x" ] ~links:[])));
+  Alcotest.(check bool) "self loop" true
+    (raises (fun () ->
+         ignore
+           (T.make ~nodes:[ T.node 0 "x" ] ~links:[ T.link T.Lan 0 0 0 ])));
+  Alcotest.(check bool) "endpoint out of range" true
+    (raises (fun () ->
+         ignore
+           (T.make ~nodes:[ T.node 0 "x" ] ~links:[ T.link T.Lan 0 0 7 ])))
+
+let test_connectivity () =
+  let t = small_topo () in
+  Alcotest.(check bool) "connected" true (T.is_connected t);
+  let disconnected =
+    T.make ~nodes:[ T.node 0 "a"; T.node 1 "b" ] ~links:[]
+  in
+  Alcotest.(check bool) "disconnected" false (T.is_connected disconnected);
+  let empty = T.make ~nodes:[] ~links:[] in
+  Alcotest.(check bool) "empty is connected" true (T.is_connected empty)
+
+let test_resource_names () =
+  let t =
+    T.make
+      ~nodes:[ T.node ~resources:[ ("mem", 8.) ] 0 "a" ]
+      ~links:[]
+  in
+  Alcotest.(check (list string)) "node resources" [ "cpu"; "mem" ]
+    (List.sort compare (T.node_resource_names t))
+
+(* ---------------- generators ---------------- *)
+
+let test_line () =
+  let t = G.line 5 in
+  Alcotest.(check int) "nodes" 5 (T.node_count t);
+  Alcotest.(check int) "links" 4 (T.link_count t);
+  Alcotest.(check bool) "connected" true (T.is_connected t)
+
+let test_line_kinds () =
+  let t = G.line_kinds [ T.Lan; T.Wan; T.Lan ] in
+  Alcotest.(check int) "nodes" 4 (T.node_count t);
+  Alcotest.(check (float 0.)) "wan bw" 70. (T.link_resource t 1 "lbw");
+  Alcotest.(check (float 0.)) "lan bw" 150. (T.link_resource t 0 "lbw")
+
+let test_ring () =
+  let t = G.ring 6 in
+  Alcotest.(check int) "links" 6 (T.link_count t);
+  Alcotest.(check bool) "connected" true (T.is_connected t);
+  Array.iter
+    (fun n -> Alcotest.(check int) "degree 2" 2 (List.length (T.adjacent t n.T.node_id)))
+    (T.nodes t)
+
+let test_star () =
+  let t = G.star 5 in
+  Alcotest.(check int) "nodes" 6 (T.node_count t);
+  Alcotest.(check int) "hub degree" 5 (List.length (T.adjacent t 0))
+
+let test_grid () =
+  let t = G.grid 3 4 in
+  Alcotest.(check int) "nodes" 12 (T.node_count t);
+  Alcotest.(check int) "links" ((2 * 4) + (3 * 3)) (T.link_count t);
+  Alcotest.(check bool) "connected" true (T.is_connected t)
+
+let test_transit_stub_shape () =
+  let rng = Prng.create ~seed:123L in
+  let t = G.transit_stub ~rng ~transit:3 ~stubs_per_transit:3 ~stub_size:10 () in
+  Alcotest.(check int) "93 nodes" 93 (T.node_count t);
+  Alcotest.(check bool) "connected" true (T.is_connected t);
+  (* every stub reaches its transit via a WAN uplink: count WAN links >=
+     transit ring + uplinks *)
+  let wan =
+    Array.fold_left
+      (fun n (l : T.link) -> if l.T.kind = T.Wan then n + 1 else n)
+      0 (T.links t)
+  in
+  Alcotest.(check bool) "enough WAN links" true (wan >= 3 + 9)
+
+let test_transit_stub_deterministic () =
+  let gen seed =
+    let rng = Prng.create ~seed in
+    G.transit_stub ~rng ~transit:2 ~stubs_per_transit:2 ~stub_size:5 ()
+  in
+  let a = gen 55L and b = gen 55L in
+  Alcotest.(check int) "same link count" (T.link_count a) (T.link_count b);
+  Array.iteri
+    (fun i (l : T.link) ->
+      Alcotest.(check (pair int int)) "same ends" l.T.ends (T.get_link b i).T.ends)
+    (T.links a)
+
+let test_transit_stub_resources () =
+  let rng = Prng.create ~seed:9L in
+  let t = G.transit_stub ~rng ~transit:2 ~stubs_per_transit:1 ~stub_size:4 () in
+  Array.iter
+    (fun (l : T.link) ->
+      let bw = T.link_resource t l.T.link_id "lbw" in
+      match l.T.kind with
+      | T.Lan -> Alcotest.(check (float 0.)) "lan 150" 150. bw
+      | T.Wan -> Alcotest.(check (float 0.)) "wan 70" 70. bw)
+    (T.links t)
+
+(* ---------------- routing ---------------- *)
+
+let routing_topo () =
+  (* 0-1-2-3 path plus shortcut 0-4-3 with narrow links *)
+  T.make
+    ~nodes:(List.init 5 (fun i -> T.node i (Printf.sprintf "n%d" i)))
+    ~links:
+      [
+        T.link ~bw:100. T.Lan 0 0 1;
+        T.link ~bw:100. T.Lan 1 1 2;
+        T.link ~bw:100. T.Lan 2 2 3;
+        T.link ~bw:20. T.Lan 3 0 4;
+        T.link ~bw:20. T.Lan 4 4 3;
+      ]
+
+let test_shortest_path () =
+  let t = routing_topo () in
+  match R.shortest_path t 0 3 with
+  | Some p ->
+      Alcotest.(check (list int)) "2 hops via shortcut" [ 0; 4; 3 ] p.R.hops
+  | None -> Alcotest.fail "no path"
+
+let test_shortest_path_self () =
+  let t = routing_topo () in
+  match R.shortest_path t 2 2 with
+  | Some p ->
+      Alcotest.(check (list int)) "self" [ 2 ] p.R.hops;
+      Alcotest.(check int) "no links" 0 (List.length p.R.path_links)
+  | None -> Alcotest.fail "no self path"
+
+let test_shortest_unreachable () =
+  let t = T.make ~nodes:[ T.node 0 "a"; T.node 1 "b" ] ~links:[] in
+  Alcotest.(check bool) "unreachable" true (R.shortest_path t 0 1 = None)
+
+let test_dijkstra_weighted () =
+  let t = routing_topo () in
+  (* Weight = 1/bw: prefers the wide 3-hop path. *)
+  let weight (l : T.link) = 1. /. List.assoc "lbw" l.T.link_resources in
+  match R.dijkstra t ~weight 0 3 with
+  | Some p -> Alcotest.(check (list int)) "wide path" [ 0; 1; 2; 3 ] p.R.hops
+  | None -> Alcotest.fail "no path"
+
+let test_widest_path () =
+  let t = routing_topo () in
+  match R.widest_path t 0 3 with
+  | Some (p, width) ->
+      Alcotest.(check (list int)) "widest hops" [ 0; 1; 2; 3 ] p.R.hops;
+      Alcotest.(check (float 0.)) "bottleneck" 100. width
+  | None -> Alcotest.fail "no path"
+
+let test_hop_distance () =
+  let t = routing_topo () in
+  Alcotest.(check (option int)) "distance" (Some 2) (R.hop_distance t 0 3);
+  Alcotest.(check (option int)) "adjacent" (Some 1) (R.hop_distance t 0 1);
+  Alcotest.(check (option int)) "self" (Some 0) (R.hop_distance t 1 1)
+
+let test_simple_paths () =
+  let t = routing_topo () in
+  let paths = R.simple_paths t ~max_hops:3 0 3 in
+  Alcotest.(check int) "both routes" 2 (List.length paths);
+  let paths1 = R.simple_paths t ~max_hops:2 0 3 in
+  Alcotest.(check int) "only shortcut fits" 1 (List.length paths1)
+
+let test_path_links_consistent () =
+  let t = routing_topo () in
+  match R.shortest_path t 1 4 with
+  | Some p ->
+      Alcotest.(check int) "links = hops - 1"
+        (List.length p.R.hops - 1)
+        (List.length p.R.path_links)
+  | None -> Alcotest.fail "no path"
+
+(* ---------------- DOT ---------------- *)
+
+let test_dot_output () =
+  let t = small_topo () in
+  let dot = Dot.to_dot ~highlight:[ 0 ] t in
+  Alcotest.(check bool) "graph keyword" true
+    (Sekitei_spec.Str_split.split_once dot "graph topology" <> None);
+  Alcotest.(check bool) "edge present" true
+    (Sekitei_spec.Str_split.split_once dot "0 -- 1" <> None);
+  Alcotest.(check bool) "wan styled" true
+    (Sekitei_spec.Str_split.split_once dot "style=bold" <> None);
+  Alcotest.(check bool) "highlight" true
+    (Sekitei_spec.Str_split.split_once dot "fillcolor=lightblue" <> None)
+
+let suite =
+  [
+    ("counts", `Quick, test_counts);
+    ("resources", `Quick, test_resources);
+    ("adjacency", `Quick, test_adjacency);
+    ("find link", `Quick, test_find_link);
+    ("peer", `Quick, test_peer);
+    ("node by name", `Quick, test_node_by_name);
+    ("invalid construction", `Quick, test_invalid_construction);
+    ("connectivity", `Quick, test_connectivity);
+    ("resource names", `Quick, test_resource_names);
+    ("gen line", `Quick, test_line);
+    ("gen line kinds", `Quick, test_line_kinds);
+    ("gen ring", `Quick, test_ring);
+    ("gen star", `Quick, test_star);
+    ("gen grid", `Quick, test_grid);
+    ("gen transit-stub shape", `Quick, test_transit_stub_shape);
+    ("gen transit-stub deterministic", `Quick, test_transit_stub_deterministic);
+    ("gen transit-stub resources", `Quick, test_transit_stub_resources);
+    ("shortest path", `Quick, test_shortest_path);
+    ("shortest path self", `Quick, test_shortest_path_self);
+    ("shortest unreachable", `Quick, test_shortest_unreachable);
+    ("dijkstra weighted", `Quick, test_dijkstra_weighted);
+    ("widest path", `Quick, test_widest_path);
+    ("hop distance", `Quick, test_hop_distance);
+    ("simple paths", `Quick, test_simple_paths);
+    ("path links consistent", `Quick, test_path_links_consistent);
+    ("dot output", `Quick, test_dot_output);
+  ]

@@ -1,0 +1,283 @@
+(* Property-based tests (QCheck, run through alcotest): interval
+   arithmetic soundness, expression evaluation laws, heap ordering,
+   generator invariants, and end-to-end planner soundness on randomized
+   instances. *)
+
+module Q = QCheck
+module I = Sekitei_util.Interval
+module Heap = Sekitei_util.Heap
+module Prng = Sekitei_util.Prng
+module E = Sekitei_expr.Expr
+module G = Sekitei_network.Generators
+module T = Sekitei_network.Topology
+module Media = Sekitei_domains.Media
+module Leveling = Sekitei_spec.Leveling
+module Planner = Sekitei_core.Planner
+module Plan = Sekitei_core.Plan
+module Replay = Sekitei_core.Replay
+module Compile = Sekitei_core.Compile
+module Problem = Sekitei_core.Problem
+
+let count = 200
+
+(* ---------------- interval properties ---------------- *)
+
+let pos_float = Q.Gen.map (fun x -> Float.abs x +. 0.001) (Q.Gen.float_bound_exclusive 1000.)
+
+let interval_gen =
+  Q.Gen.map2
+    (fun lo w -> I.make lo (lo +. w))
+    pos_float pos_float
+
+let arb_interval = Q.make ~print:I.to_string interval_gen
+
+let prop_inter_subset =
+  Q.Test.make ~count ~name:"inter is a subset of both"
+    (Q.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      match I.inter a b with
+      | None -> true
+      | Some c -> I.subset c a && I.subset c b)
+
+let prop_inter_commutative =
+  Q.Test.make ~count ~name:"inter commutative"
+    (Q.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      match (I.inter a b, I.inter b a) with
+      | Some x, Some y -> I.equal x y
+      | None, None -> true
+      | _ -> false)
+
+let prop_hull_superset =
+  Q.Test.make ~count ~name:"hull contains both"
+    (Q.pair arb_interval arb_interval)
+    (fun (a, b) ->
+      let h = I.hull a b in
+      I.subset a h && I.subset b h)
+
+let prop_add_sound =
+  Q.Test.make ~count ~name:"add encloses pointwise sums"
+    (Q.triple arb_interval arb_interval (Q.float_range 0. 1.))
+    (fun (a, b, t) ->
+      let x = I.lo a +. (t *. (I.hi a -. I.lo a)) in
+      let y = I.lo b +. (t *. (I.hi b -. I.lo b)) in
+      let s = I.add a b in
+      I.lo s -. 1e-6 <= x +. y && x +. y <= I.hi s +. 1e-6)
+
+let prop_scale_width =
+  Q.Test.make ~count ~name:"scale multiplies width"
+    (Q.pair arb_interval (Q.float_range 0.1 10.))
+    (fun (a, k) ->
+      Float.abs (I.width (I.scale k a) -. (k *. I.width a)) < 1e-6)
+
+let prop_cutpoints_partition =
+  Q.Test.make ~count ~name:"cutpoint levels partition [0,inf)"
+    (Q.pair (Q.list_of_size (Q.Gen.int_range 1 6) (Q.float_range 0.5 500.))
+       (Q.float_range 0. 600.))
+    (fun (cuts, x) ->
+      let cuts = List.sort_uniq compare cuts in
+      let levels = I.of_cutpoints cuts in
+      List.length (List.filter (I.mem x) levels) = 1)
+
+(* ---------------- expression properties ---------------- *)
+
+(* Random monotone-friendly expressions over x and y: constants are
+   non-negative; division only by positive constants. *)
+let expr_gen =
+  let open Q.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n <= 0 then
+            oneof
+              [
+                map (fun c -> E.Const (Float.abs c)) (float_bound_exclusive 50.);
+                oneofl [ E.Var "x"; E.Var "y" ];
+              ]
+          else
+            let sub = self (n / 2) in
+            oneof
+              [
+                map2 (fun a b -> E.Add (a, b)) sub sub;
+                map2 (fun a b -> E.Sub (a, b)) sub sub;
+                map2 (fun a b -> E.Min (a, b)) sub sub;
+                map2 (fun a b -> E.Max (a, b)) sub sub;
+                map2
+                  (fun a c -> E.Mul (a, E.Const (Float.abs c)))
+                  sub (float_bound_exclusive 10.);
+                map2
+                  (fun a c -> E.Div (a, E.Const (Float.abs c +. 0.5)))
+                  sub (float_bound_exclusive 10.);
+              ])
+        (min n 6))
+
+let arb_expr = Q.make ~print:E.to_string expr_gen
+
+let prop_parse_print_roundtrip =
+  Q.Test.make ~count ~name:"parse (to_string e) evaluates like e" arb_expr
+    (fun e ->
+      let env v = match v with "x" -> 3.25 | "y" -> 7.5 | _ -> raise Not_found in
+      let v1 = E.eval ~env e in
+      let v2 = E.eval ~env (E.parse (E.to_string e)) in
+      Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1. (Float.abs v1))
+
+let prop_simplify_preserves =
+  Q.Test.make ~count ~name:"simplify preserves evaluation" arb_expr (fun e ->
+      let env v = match v with "x" -> 2.5 | "y" -> 0.75 | _ -> raise Not_found in
+      let v1 = E.eval ~env e and v2 = E.eval ~env (E.simplify e) in
+      Float.abs (v1 -. v2) <= 1e-9 *. Float.max 1. (Float.abs v1))
+
+let prop_interval_encloses =
+  Q.Test.make ~count ~name:"interval evaluation encloses point evaluation"
+    (Q.triple arb_expr (Q.float_range 0. 1.) (Q.float_range 0. 1.))
+    (fun (e, tx, ty) ->
+      let ix = I.make 1. 9. and iy = I.make 2. 4. in
+      let ienv v = match v with "x" -> ix | "y" -> iy | _ -> raise Not_found in
+      let enclosure = E.eval_interval ~env:ienv e in
+      let x = I.lo ix +. (tx *. (I.hi ix -. I.lo ix)) in
+      let y = I.lo iy +. (ty *. (I.hi iy -. I.lo iy)) in
+      let env v = match v with "x" -> x | "y" -> y | _ -> raise Not_found in
+      let v = E.eval ~env e in
+      I.lo enclosure -. 1e-6 <= v && v <= I.hi enclosure +. 1e-6)
+
+let prop_monotonicity_sampled =
+  Q.Test.make ~count ~name:"claimed monotonicity holds on samples" arb_expr
+    (fun e ->
+      let eval_at x =
+        E.eval ~env:(function "x" -> x | "y" -> 3. | _ -> raise Not_found) e
+      in
+      match E.monotonicity e "x" with
+      | E.Increasing ->
+          eval_at 1. <= eval_at 2. +. 1e-9 && eval_at 2. <= eval_at 8. +. 1e-9
+      | E.Decreasing ->
+          eval_at 1. +. 1e-9 >= eval_at 2. && eval_at 2. +. 1e-9 >= eval_at 8.
+      | E.Constant ->
+          Float.abs (eval_at 1. -. eval_at 8.) <= 1e-9
+      | E.Unknown -> true)
+
+(* ---------------- heap property ---------------- *)
+
+let prop_heap_sorts =
+  Q.Test.make ~count ~name:"heap drains in sorted order"
+    (Q.list (Q.float_range (-100.) 100.))
+    (fun xs ->
+      let h = Heap.create () in
+      List.iter (fun x -> Heap.add h ~prio:x x) xs;
+      let drained = List.map snd (Heap.to_sorted_list h) in
+      drained = List.sort compare xs)
+
+(* ---------------- prng property ---------------- *)
+
+let prop_prng_bounds =
+  Q.Test.make ~count ~name:"prng int stays in bounds"
+    (Q.pair (Q.map (fun i -> Int64.of_int i) Q.int) (Q.int_range 1 1000))
+    (fun (seed, n) ->
+      let t = Prng.create ~seed in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let v = Prng.int t n in
+        if v < 0 || v >= n then ok := false
+      done;
+      !ok)
+
+(* ---------------- generator properties ---------------- *)
+
+let prop_transit_stub_connected =
+  Q.Test.make ~count:30 ~name:"transit-stub networks connected with right size"
+    (Q.quad (Q.map Int64.of_int Q.int) (Q.int_range 1 4) (Q.int_range 0 3)
+       (Q.int_range 1 6))
+    (fun (seed, transit, stubs, stub_size) ->
+      let rng = Prng.create ~seed in
+      let t =
+        G.transit_stub ~rng ~transit ~stubs_per_transit:stubs ~stub_size ()
+      in
+      T.is_connected t
+      && T.node_count t = transit * (1 + (stubs * stub_size)))
+
+(* ---------------- planner soundness on random instances ---------------- *)
+
+(* Random 3-node line networks with random bandwidths and CPU; whenever
+   the planner returns a plan it must replay from the initial state and
+   deliver the demand. *)
+let prop_planner_sound =
+  (* A tight RG budget keeps pathological random instances cheap; a
+     budget-exceeded outcome counts as "no plan", which the property
+     accepts. *)
+  let config =
+    { Planner.default_config with Planner.rg_max_expansions = 5_000 }
+  in
+  Q.Test.make ~count:25 ~name:"planner plans always validate"
+    (Q.quad (Q.float_range 20. 160.) (Q.float_range 20. 160.)
+       (Q.float_range 5. 60.) (Q.float_range 30. 110.))
+    (fun (bw1, bw2, cpu, demand) ->
+      let topo =
+        T.make
+          ~nodes:(List.init 3 (fun i -> T.node ~cpu i (Printf.sprintf "n%d" i)))
+          ~links:[ T.link ~bw:bw1 T.Lan 0 0 1; T.link ~bw:bw2 T.Wan 1 1 2 ]
+      in
+      let app = Media.app ~demand ~server:0 ~client:2 () in
+      let leveling =
+        Leveling.propagate app
+          (Leveling.with_iface Leveling.empty "M" "ibw"
+             [ demand; demand +. 10.; 150. ])
+      in
+      let pb = Compile.compile topo app leveling in
+      match (Planner.solve ~config topo app leveling).Planner.result with
+      | Error _ -> true (* infeasibility is an acceptable outcome *)
+      | Ok p -> (
+          match Replay.run pb ~mode:Replay.From_init p.Plan.steps with
+          | Error _ -> false
+          | Ok m ->
+              let m_i = Problem.iface_index pb "M" in
+              let delivered =
+                List.find_map
+                  (fun (i, n, v) -> if i = m_i && n = 2 then Some v else None)
+                  m.Replay.delivered
+              in
+              (match delivered with
+              | Some v -> v >= demand -. 1e-6
+              | None -> false)
+              && p.Plan.cost_lb <= m.Replay.realized_cost +. 1e-6))
+
+(* ---------------- leveling propagation property ---------------- *)
+
+let prop_propagation_wellformed =
+  Q.Test.make ~count:50 ~name:"propagated cutpoints strictly increasing"
+    (Q.list_of_size (Q.Gen.int_range 1 5) (Q.float_range 1. 300.))
+    (fun cuts ->
+      let cuts = List.sort_uniq compare cuts in
+      let app = Media.app ~server:0 ~client:1 () in
+      let l =
+        Leveling.propagate app
+          (Leveling.with_iface Leveling.empty "M" "ibw" cuts)
+      in
+      List.for_all
+        (fun (_, _, derived) ->
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          increasing derived && List.for_all (fun c -> c > 0.) derived)
+        (Leveling.iface_cutpoints l))
+
+let to_alcotest = List.map QCheck_alcotest.to_alcotest
+
+let suite =
+  to_alcotest
+    [
+      prop_inter_subset;
+      prop_inter_commutative;
+      prop_hull_superset;
+      prop_add_sound;
+      prop_scale_width;
+      prop_cutpoints_partition;
+      prop_parse_print_roundtrip;
+      prop_simplify_preserves;
+      prop_interval_encloses;
+      prop_monotonicity_sampled;
+      prop_heap_sorts;
+      prop_prng_bounds;
+      prop_transit_stub_connected;
+      prop_planner_sound;
+      prop_propagation_wellformed;
+    ]
