@@ -1,0 +1,19 @@
+.PHONY: build test bench bench-json clean
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark run: every paper exhibit, ablations, microbenchmarks.
+bench:
+	dune exec bench/main.exe
+
+# Machine-readable planner benchmark: writes BENCH_rg.json (and stdout).
+# The perf trajectory of the RG search is tracked across commits there.
+bench-json:
+	dune exec bench/main.exe -- --json
+
+clean:
+	dune clean

@@ -120,7 +120,15 @@ let size_scaling () =
             string_of_int o.Planner.stats.Planner.rg_created;
             Printf.sprintf "%.0f" o.Planner.stats.Planner.t_search_ms;
           ]
-      end)
+      end
+      else
+        (* Keep the row so a generator regression is visible instead of a
+           silently shorter table. *)
+        Table.add_row t
+          [
+            string_of_int (Sekitei_network.Topology.node_count topo);
+            "-"; "-"; "-"; "skipped (disconnected)";
+          ])
     [ 2; 4; 6; 10; 14; 20 ];
   print_string (Table.render t)
 
@@ -172,9 +180,30 @@ let microbenches () =
       | _ -> Printf.printf "%-28s (no estimate)\n" name)
     (List.sort compare names)
 
+(* ------------------------------------------------------------------ *)
+(* Machine-readable mode: --json [--tag TAG] [--out FILE]              *)
+(* ------------------------------------------------------------------ *)
+
+let json_mode () =
+  let rec opt_arg flag = function
+    | [] | [ _ ] -> None
+    | f :: v :: _ when f = flag -> Some v
+    | _ :: rest -> opt_arg flag rest
+  in
+  let argv = Array.to_list Sys.argv in
+  let tag = opt_arg "--tag" argv in
+  let out = Option.value (opt_arg "--out" argv) ~default:"BENCH_rg.json" in
+  let doc = Sekitei_harness.Bench_json.(to_json ?tag (run_default ())) in
+  Sekitei_harness.Bench_json.write_file out doc;
+  print_string doc;
+  Printf.eprintf "wrote %s\n" out
+
 let () =
-  run_exhibits ();
-  level_sensitivity ();
-  size_scaling ();
-  microbenches ();
-  print_newline ()
+  if Array.exists (fun a -> a = "--json") Sys.argv then json_mode ()
+  else begin
+    run_exhibits ();
+    level_sensitivity ();
+    size_scaling ();
+    microbenches ();
+    print_newline ()
+  end

@@ -33,6 +33,7 @@ type stats = {
   rg_expanded : int;
   replay_pruned : int;
   final_replay_rejected : int;
+  rg_duplicates : int;
   t_total_ms : float;
   t_search_ms : float;
 }
@@ -50,6 +51,7 @@ let empty_stats =
     rg_expanded = 0;
     replay_pruned = 0;
     final_replay_rejected = 0;
+    rg_duplicates = 0;
     t_total_ms = 0.;
     t_search_ms = 0.;
   }
@@ -104,6 +106,8 @@ let solve ?(config = default_config) ?adjust topo app leveling =
                 (match rg_stats with
                 | Some s -> s.Rg.final_replay_rejected
                 | None -> 0);
+              rg_duplicates =
+                (match rg_stats with Some s -> s.Rg.duplicates | None -> 0);
               t_total_ms = Timer.elapsed_ms t_total;
               t_search_ms = search_ms;
             }
@@ -119,9 +123,12 @@ let solve ?(config = default_config) ?adjust topo app leveling =
               Rg.search ~max_expansions:config.rg_max_expansions pb plrg slrg
             in
             Log.info (fun m ->
-                m "RG: %d nodes created, %d expanded, %d pruned by replay, %d final rejections"
+                m
+                  "RG: %d nodes created, %d expanded, %d pruned by replay, %d \
+                   duplicates, %d final rejections"
                   rg_stats.Rg.created rg_stats.Rg.expanded
-                  rg_stats.Rg.replay_pruned rg_stats.Rg.final_replay_rejected);
+                  rg_stats.Rg.replay_pruned rg_stats.Rg.duplicates
+                  rg_stats.Rg.final_replay_rejected);
             let stats =
               base_stats (Timer.elapsed_ms t_search) (Some slrg) (Some rg_stats)
             in
@@ -149,8 +156,8 @@ let pp_failure_reason fmt = function
 
 let pp_stats fmt s =
   Format.fprintf fmt
-    "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d rejected=%d \
-     time=%.1f/%.1fms"
+    "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d dups=%d \
+     rejected=%d time=%.1f/%.1fms"
     s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
-    s.rg_open_left s.rg_expanded s.replay_pruned s.final_replay_rejected
-    s.t_total_ms s.t_search_ms
+    s.rg_open_left s.rg_expanded s.replay_pruned s.rg_duplicates
+    s.final_replay_rejected s.t_total_ms s.t_search_ms

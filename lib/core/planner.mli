@@ -32,6 +32,9 @@ type stats = {
   rg_expanded : int;
   replay_pruned : int;
   final_replay_rejected : int;
+  rg_duplicates : int;
+      (** RG nodes pruned by duplicate detection (pending set re-derived
+          at an equal-or-worse g) *)
   t_total_ms : float;  (** Table 2 col 9 (left) *)
   t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
 }

@@ -1,0 +1,43 @@
+(** Canonical proposition sets and fast regression over them.
+
+    Both graph search phases (SLRG and RG) regress over {e sets} of pending
+    propositions represented as canonical int arrays: sorted ascending,
+    duplicate-free, with initially-true propositions dropped.  This module
+    centralizes the representation so the two phases share one
+    [Int.compare]-specialized implementation (no polymorphic [compare]),
+    one hash function, and one precomputed per-action regression table. *)
+
+(** [canonical pb props] sorts, deduplicates and drops initially-true
+    propositions. *)
+val canonical : Problem.t -> int list -> int array
+
+(** [canonical_array pb props] is {!canonical} over an array (the input is
+    not mutated). *)
+val canonical_array : Problem.t -> int array -> int array
+
+(** Structural equality of canonical sets (length + element loop, no
+    polymorphic compare). *)
+val equal : int array -> int array -> bool
+
+(** FNV-1a style hash of a canonical set. *)
+val hash : int array -> int
+
+(** [mem set p] — membership in a canonical (sorted) set, by binary
+    search. *)
+val mem : int array -> int -> bool
+
+(** Hash table keyed by canonical sets. *)
+module Tbl : Hashtbl.S with type key = int array
+
+(** Per-problem regression tables: each action's add-closure and
+    precondition set pre-sorted (and the preconditions pre-canonicalized)
+    so a regression step is a linear merge instead of quadratic scans. *)
+type ctx
+
+val make_ctx : Problem.t -> ctx
+
+(** [regress ctx set a] is the canonical set
+    [(set \ add_closure a) ∪ pre a]: the propositions still pending after
+    deciding that [a] closes the plan suffix.  [set] must be canonical;
+    the result is canonical. *)
+val regress : ctx -> int array -> Action.t -> int array

@@ -3,7 +3,7 @@ module Expr = Sekitei_expr.Expr
 module Topology = Sekitei_network.Topology
 module Model = Sekitei_spec.Model
 
-type mode = Optimistic | From_init
+type mode = Optimistic | From_init | Regression
 
 type failure = { failed_index : int; failed_action : string; reason : string }
 
@@ -80,23 +80,31 @@ let init_state ?(source_scale = 1.) (pb : Problem.t) =
     pb.sources;
   st
 
+(* Capacity before any replayed action runs (but after statically
+   pre-consumed amounts): the reference point for checked levels in
+   [Regression] mode, where the state's running remainder reflects
+   consumption by actions that execute *later* in plan time. *)
+let node_base (pb : Problem.t) node r =
+  let base = Problem.node_cap pb node r in
+  let consumed =
+    List.fold_left
+      (fun acc (n, res, amt) ->
+        if n = node && String.equal res r then acc +. amt else acc)
+      0. pb.init_consumed
+  in
+  base -. consumed
+
+let link_base (pb : Problem.t) link r = Problem.link_cap pb link r
+
 let node_remaining (pb : Problem.t) st node r =
   match Hashtbl.find_opt st.node_rem (node, r) with
   | Some v -> v
-  | None ->
-      let base = Problem.node_cap pb node r in
-      let consumed =
-        List.fold_left
-          (fun acc (n, res, amt) ->
-            if n = node && String.equal res r then acc +. amt else acc)
-          0. pb.init_consumed
-      in
-      base -. consumed
+  | None -> node_base pb node r
 
 let link_remaining (pb : Problem.t) st link r =
   match Hashtbl.find_opt st.link_rem (link, r) with
   | Some v -> v
-  | None -> Problem.link_cap pb link r
+  | None -> link_base pb link r
 
 (* Operating point of an interval during metric computation. *)
 let op ivl = I.hi ivl
@@ -134,7 +142,7 @@ let effective_input pb st ~mode iface node assumed =
               (Fail
                  (Printf.sprintf "interface %s not available on node %d"
                     pb.ifaces.(iface).Model.iface_name node))
-        | Optimistic -> I.of_points [ 0.; pb.iface_max.(iface) ])
+        | Optimistic | Regression -> I.of_points [ 0.; pb.iface_max.(iface) ])
   in
   match meet tag cur assumed with
   | Some eff ->
@@ -156,7 +164,8 @@ let secondary_value pb st ~mode iface node p =
         | Some prop -> I.point prop.Model.prop_default
         | None -> raise (Fail ("unknown property " ^ p))
       in
-      match mode with From_init -> default () | Optimistic -> default ())
+      match mode with
+      | From_init | Optimistic | Regression -> default ())
 
 let consume_node pb st node r amount =
   if not (Float.is_finite amount) then
@@ -181,10 +190,15 @@ let consume_link pb st link r amount =
    so the level must contain it (the upper boundary counts as inside: full
    capacity satisfies "at least the top cutpoint").  In [Optimistic] mode,
    actions prepended later can only lower the remaining amount, so the
-   assumption is still reachable whenever the level's infimum is. *)
+   assumption is still reachable whenever the level's infimum is.
+   [Regression] mode replays in regression order, so the state's running
+   remainder includes consumption by actions that execute *after* this one
+   in plan time; callers therefore pass the base remaining amount (full
+   capacity minus static pre-consumption), against which the infimum test
+   is the correct optimistic check. *)
 let checked_level_ok ~mode rem ivl =
   match mode with
-  | Optimistic -> rem >= I.lo ivl -. 1e-9
+  | Optimistic | Regression -> rem >= I.lo ivl -. 1e-9
   | From_init -> I.mem rem ivl || rem = I.hi ivl
 
 let store_output out_ivl assumed what =
@@ -215,7 +229,11 @@ let exec_place pb st ~mode (act : Action.t) comp node =
   (* 2. interval environment *)
   let env v =
     match split_var v with
-    | "node", r -> I.point (node_remaining pb st node r)
+    | "node", r ->
+        I.point
+          (match mode with
+          | Regression -> node_base pb node r
+          | Optimistic | From_init -> node_remaining pb st node r)
     | iface_name, prop_name -> (
         let i = find_iface_index pb iface_name in
         let primary = Problem.primary pb i in
@@ -233,7 +251,11 @@ let exec_place pb st ~mode (act : Action.t) comp node =
     c.Model.conditions;
   Array.iter
     (fun (r, ivl) ->
-      let rem = node_remaining pb st node r in
+      let rem =
+        match mode with
+        | Regression -> node_base pb node r
+        | Optimistic | From_init -> node_remaining pb st node r
+      in
       if not (checked_level_ok ~mode rem ivl) then
         raise
           (Fail
@@ -302,7 +324,11 @@ let exec_cross pb st ~mode (act : Action.t) iface link src dst =
   let eff = effective_input pb st ~mode iface src assumed_in in
   let env v =
     match split_var v with
-    | "link", r -> I.point (link_remaining pb st link r)
+    | "link", r ->
+        I.point
+          (match mode with
+          | Regression -> link_base pb link r
+          | Optimistic | From_init -> link_remaining pb st link r)
     | "", p ->
         if String.equal p primary then eff
         else secondary_value pb st ~mode iface src p
@@ -315,7 +341,11 @@ let exec_cross pb st ~mode (act : Action.t) iface link src dst =
     ifc.Model.cross_conditions;
   Array.iter
     (fun (r, ivl) ->
-      let rem = link_remaining pb st link r in
+      let rem =
+        match mode with
+        | Regression -> link_base pb link r
+        | Optimistic | From_init -> link_remaining pb st link r
+      in
       if not (checked_level_ok ~mode rem ivl) then
         raise
           (Fail
@@ -411,6 +441,18 @@ let collect_metrics (pb : Problem.t) st realized_cost =
     delivered;
   }
 
+(* Execute one action against [st] (mutating it), returning the action's
+   realized cost contribution.  Raises [Fail] (or [Division_by_zero] out of
+   a specification formula) on infeasibility. *)
+let exec_action pb st ~mode (act : Action.t) =
+  let c =
+    match act.Action.kind with
+    | Action.Place { comp; node } -> exec_place pb st ~mode act comp node
+    | Action.Cross { iface; link; src; dst } ->
+        exec_cross pb st ~mode act iface link src dst
+  in
+  Float.max 0. (c +. act.Action.cost_extra)
+
 let run ?source_scale pb ~mode tail =
   let st = init_state ?source_scale pb in
   let cost = ref 0. in
@@ -418,14 +460,9 @@ let run ?source_scale pb ~mode tail =
   let rec go idx = function
     | [] -> ()
     | (act : Action.t) :: rest -> (
-        match
-          match act.Action.kind with
-          | Action.Place { comp; node } -> exec_place pb st ~mode act comp node
-          | Action.Cross { iface; link; src; dst } ->
-              exec_cross pb st ~mode act iface link src dst
-        with
+        match exec_action pb st ~mode act with
         | c ->
-            cost := !cost +. Float.max 0. (c +. act.Action.cost_extra);
+            cost := !cost +. c;
             go (idx + 1) rest
         | exception Fail reason ->
             result :=
@@ -444,6 +481,41 @@ let run ?source_scale pb ~mode tail =
   match !result with
   | Error f -> Error f
   | Ok () -> Ok (collect_metrics pb st !cost)
+
+(* ------------------------------------------------------------------ *)
+(* Incremental replay states                                           *)
+(* ------------------------------------------------------------------ *)
+
+type rstate = { rst : state; rcost : float; rlen : int }
+
+let copy_state st =
+  {
+    prim = Hashtbl.copy st.prim;
+    sec = Hashtbl.copy st.sec;
+    node_rem = Hashtbl.copy st.node_rem;
+    link_rem = Hashtbl.copy st.link_rem;
+  }
+
+let initial ?source_scale pb =
+  { rst = init_state ?source_scale pb; rcost = 0.; rlen = 0 }
+
+let extend pb ~mode rs (act : Action.t) =
+  let st = copy_state rs.rst in
+  match exec_action pb st ~mode act with
+  | c -> Ok { rst = st; rcost = rs.rcost +. c; rlen = rs.rlen + 1 }
+  | exception Fail reason ->
+      Error { failed_index = rs.rlen; failed_action = act.Action.label; reason }
+  | exception Division_by_zero ->
+      Error
+        {
+          failed_index = rs.rlen;
+          failed_action = act.Action.label;
+          reason = "division by zero in a specification formula";
+        }
+
+let rstate_cost rs = rs.rcost
+let rstate_length rs = rs.rlen
+let rstate_metrics pb rs = collect_metrics pb rs.rst rs.rcost
 
 let pp_failure fmt f =
   Format.fprintf fmt "action %d (%s): %s" f.failed_index f.failed_action f.reason

@@ -11,18 +11,28 @@
     operating point), and finally produces its outputs by monotone
     interval evaluation of the effect formulae.
 
-    Two modes:
+    Three modes:
     - [Optimistic] — unknown inputs are seeded from the action's assumed
       level capped by the interface's global maximum ({!Problem.t.iface_max});
       used to prune partial plans during RG search.  A failure here is
       definitive: no completion of the tail can succeed.
     - [From_init] — inputs must be produced by earlier actions or the
       initial state; used for the final soundness check and for deployment
-      metrics. *)
+      metrics.
+    - [Regression] — [Optimistic], except that checked (unimportant)
+      node/link levels and [node.r]/[link.r] condition variables are
+      evaluated against the {e base} capacity rather than the running
+      remainder.  This is the mode for the RG search's incremental
+      extension: there each [extend] appends the action that executes
+      {e first} in plan time, so the running remainder already includes
+      consumption by plan-later actions — amounts that are not yet
+      consumed at the moment the new action really runs.  Consumption
+      sums themselves are order-independent, so capacity exhaustion
+      checks stay exact. *)
 
 module I = Sekitei_util.Interval
 
-type mode = Optimistic | From_init
+type mode = Optimistic | From_init | Regression
 
 type failure = {
   failed_index : int;  (** position in the tail, -1 for goal checks *)
@@ -50,5 +60,39 @@ type outcome = (metrics, failure) result
     [source_scale] (default 1) scales every source's capacity — the hook
     the post-processing optimizer uses to throttle the supply. *)
 val run : ?source_scale:float -> Problem.t -> mode:mode -> Action.t list -> outcome
+
+(** {1 Incremental replay states}
+
+    A snapshot of the replay execution state after some action sequence.
+    [extend] applies {e one} action against a copy-on-write snapshot of the
+    parent state, leaving the parent untouched — the RG search carries one
+    [rstate] per node so pushing a successor costs one action execution
+    instead of a full tail replay.
+
+    Equivalence guarantee: folding [extend pb ~mode] over an action list
+    [l] from [initial pb] yields the same accept/reject outcome — and on
+    acceptance the same {!metrics} — as [run pb ~mode l].  Both run the
+    identical per-action execution code; [extend] merely snapshots the
+    state between actions. *)
+
+type rstate
+
+(** State of the empty sequence ([source_scale] as in {!run}). *)
+val initial : ?source_scale:float -> Problem.t -> rstate
+
+(** [extend pb ~mode rs act] executes [act] against a snapshot of [rs].
+    [rs] itself is never mutated and remains valid for further extensions
+    (search-tree branching).  The failure's [failed_index] is the number
+    of actions already applied to [rs]. *)
+val extend : Problem.t -> mode:mode -> rstate -> Action.t -> (rstate, failure) result
+
+(** Accumulated realized cost of the applied actions. *)
+val rstate_cost : rstate -> float
+
+(** Number of actions applied. *)
+val rstate_length : rstate -> int
+
+(** Deployment metrics of the state, as {!run} would report them. *)
+val rstate_metrics : Problem.t -> rstate -> metrics
 
 val pp_failure : Format.formatter -> failure -> unit

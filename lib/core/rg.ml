@@ -1,4 +1,5 @@
 module Heap = Sekitei_util.Heap
+module Iset = Set.Make (Int)
 
 type stats = {
   created : int;
@@ -6,6 +7,7 @@ type stats = {
   open_left : int;
   replay_pruned : int;
   final_replay_rejected : int;
+  duplicates : int;
 }
 
 type result =
@@ -13,46 +15,148 @@ type result =
   | Exhausted
   | Budget_exceeded
 
-type node = { tail : Action.t list; set : int array; g : float }
+type node = {
+  tail : Action.t list;  (** plan suffix, execution order *)
+  set : int array;  (** canonical pending propositions *)
+  g : float;
+  acts : Iset.t;  (** action ids in [tail] (repetition guard) *)
+  rs : Replay.rstate;
+      (** optimistic replay state of the suffix, built incrementally in
+          regression order (one [Replay.extend] per search edge) *)
+}
 
-let canonical (pb : Problem.t) props =
-  Array.of_list
-    (List.sort_uniq compare (List.filter (fun p -> not pb.init.(p)) props))
+(* Per-proposition relevant supporting actions, ascending id.  Filtering
+   and sorting once here replaces the per-expansion Hashtbl + polymorphic
+   sort of the naive implementation. *)
+let supports_relevant (pb : Problem.t) plrg =
+  Array.map
+    (fun aids ->
+      let arr =
+        Array.of_list (List.filter (Plrg.action_relevant plrg) aids)
+      in
+      Array.sort Int.compare arr;
+      arr)
+    pb.supports
 
-let regress (pb : Problem.t) set (a : Action.t) =
-  let in_closure p = Array.exists (fun q -> q = p) a.Action.add_closure in
-  let remaining = Array.to_list set |> List.filter (fun p -> not (in_closure p)) in
-  canonical pb (Array.to_list a.Action.pre @ remaining)
-
-let candidate_actions (pb : Problem.t) plrg set =
-  let seen = Hashtbl.create 16 in
+(* Distinct relevant actions supporting any pending proposition, ascending.
+   [seen] is a scratch bitmap over action ids, cleared before return. *)
+let candidate_actions supports_rel (seen : bool array) (set : int array) =
   let acc = ref [] in
+  let count = ref 0 in
   Array.iter
     (fun p ->
-      List.iter
+      Array.iter
         (fun aid ->
-          if (not (Hashtbl.mem seen aid)) && Plrg.action_relevant plrg aid then begin
-            Hashtbl.add seen aid ();
-            acc := aid :: !acc
+          if not seen.(aid) then begin
+            seen.(aid) <- true;
+            acc := aid :: !acc;
+            incr count
           end)
-        pb.supports.(p))
+        supports_rel.(p))
     set;
-  List.sort compare !acc
+  let out = Array.make !count 0 in
+  List.iteri (fun i aid -> out.(i) <- aid) !acc;
+  List.iter (fun aid -> seen.(aid) <- false) !acc;
+  Array.sort Int.compare out;
+  out
 
-let search ?(max_expansions = 500_000) (pb : Problem.t) plrg slrg =
+(* Duplicate-detection key: canonical pending set plus the set of action
+   ids in the tail.  The repetition guard makes tails action *sets*, so
+   two nodes agreeing on both components are permutations of one another
+   — same g (sum of the same cost bounds), same logical obligations —
+   and only one needs expanding.  Nodes agreeing on the pending set but
+   built from different actions are NOT interchangeable: their replay
+   states differ in feasibility, and collapsing them by g-value loses
+   solutions (observed on the tiny-E and small-B levelings). *)
+module Key = struct
+  type t = int array * Iset.t
+
+  let equal (s1, a1) (s2, a2) = Propset.equal s1 s2 && Iset.equal a1 a2
+
+  let hash (s, a) =
+    let h = ref (Propset.hash s) in
+    Iset.iter (fun x -> h := ((!h * 31) + x) land max_int) a;
+    !h
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+(* Greedy re-sequencing of a candidate tail under from-init semantics.
+   Duplicate detection collapses permuted tails, so of several orderings
+   of one action set only a single tail may survive to final validation —
+   and from-init replay is order-sensitive.  When that surviving order
+   fails, try to execute the same action set in any feasible order:
+   repeatedly pick the first remaining action that extends the from-init
+   state.  The greedy choice is safe in practice because feasibility here
+   is dominated by dataflow availability, which is monotone in the set of
+   executed actions. *)
+let repair_order (pb : Problem.t) tail =
+  let rec go rs acc remaining =
+    match remaining with
+    | [] -> Some (List.rev acc, Replay.rstate_metrics pb rs)
+    | _ -> (
+        let rec try_each tried = function
+          | [] -> None
+          | a :: rest -> (
+              match Replay.extend pb ~mode:Replay.From_init rs a with
+              | Ok rs' -> Some (rs', a, List.rev_append tried rest)
+              | Error _ -> try_each (a :: tried) rest)
+        in
+        match try_each [] remaining with
+        | None -> None
+        | Some (rs', a, remaining') -> go rs' (a :: acc) remaining')
+  in
+  go (Replay.initial pb) [] tail
+
+let search ?(max_expansions = 500_000) ?(dedup = true) (pb : Problem.t) plrg
+    slrg =
   let created = ref 0
   and expanded = ref 0
   and replay_pruned = ref 0
-  and final_rejected = ref 0 in
+  and final_rejected = ref 0
+  and duplicates = ref 0 in
+  let ctx = Propset.make_ctx pb in
+  let supports_rel = supports_relevant pb plrg in
+  let seen = Array.make (Array.length pb.actions) false in
+  (* (pending set, action set) pairs already on the open list.  A node
+     re-deriving a recorded pair is a permutation of the recorded one —
+     a duplicate, pruned.  Order sensitivity of the final from-init
+     validation is restored by [repair_order] below.  The empty set is
+     exempt: candidate solutions go to validation individually, so a
+     greedy repair failure on one permutation cannot mask another. *)
+  let seen_keys = Ktbl.create 256 in
   let heap = Heap.create () in
   let push node =
-    let h = Slrg.query slrg (Array.to_list node.set) in
+    let h = Slrg.query_set slrg node.set in
     if Float.is_finite h then begin
-      incr created;
-      Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) node
+      let keep =
+        (not dedup)
+        || Array.length node.set = 0
+        ||
+        let key = (node.set, node.acts) in
+        if Ktbl.mem seen_keys key then begin
+          incr duplicates;
+          false
+        end
+        else begin
+          Ktbl.replace seen_keys key ();
+          true
+        end
+      in
+      if keep then begin
+        incr created;
+        Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) node
+      end
     end
   in
-  push { tail = []; set = canonical pb (Array.to_list pb.goal_props); g = 0. };
+  push
+    {
+      tail = [];
+      set = Propset.canonical_array pb pb.goal_props;
+      g = 0.;
+      acts = Iset.empty;
+      rs = Replay.initial pb;
+    };
   let finish result =
     ( result,
       {
@@ -61,6 +165,7 @@ let search ?(max_expansions = 500_000) (pb : Problem.t) plrg slrg =
         open_left = Heap.length heap;
         replay_pruned = !replay_pruned;
         final_replay_rejected = !final_rejected;
+        duplicates = !duplicates;
       } )
   in
   let rec loop () =
@@ -74,30 +179,34 @@ let search ?(max_expansions = 500_000) (pb : Problem.t) plrg slrg =
             (* Candidate solution: validate against the true initial map. *)
             match Replay.run pb ~mode:Replay.From_init node.tail with
             | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
-            | Error _ ->
-                incr final_rejected;
-                loop ()
+            | Error _ -> (
+                (* The order that survived dedup may be infeasible even
+                   though a permutation of the same multiset is fine. *)
+                match repair_order pb node.tail with
+                | Some (tail', metrics) ->
+                    finish (Solution (tail', metrics, node.g))
+                | None ->
+                    incr final_rejected;
+                    loop ())
           end
           else begin
-            List.iter
+            Array.iter
               (fun aid ->
-                let a = pb.actions.(aid) in
-                let repeated =
-                  List.exists (fun b -> b.Action.act_id = aid) node.tail
-                in
-                if not repeated then begin
-                  let tail' = a :: node.tail in
-                  match Replay.run pb ~mode:Replay.Optimistic tail' with
+                if not (Iset.mem aid node.acts) then begin
+                  let a = pb.actions.(aid) in
+                  match Replay.extend pb ~mode:Replay.Regression node.rs a with
                   | Error _ -> incr replay_pruned
-                  | Ok _ ->
+                  | Ok rs' ->
                       push
                         {
-                          tail = tail';
-                          set = regress pb node.set a;
+                          tail = a :: node.tail;
+                          set = Propset.regress ctx node.set a;
                           g = node.g +. a.Action.cost_lb;
+                          acts = Iset.add aid node.acts;
+                          rs = rs';
                         }
                 end)
-              (candidate_actions pb plrg node.set);
+              (candidate_actions supports_rel seen node.set);
             loop ()
           end
         end

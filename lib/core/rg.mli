@@ -12,14 +12,28 @@
     The remaining-cost heuristic is the SLRG set cost; path cost is the sum
     of the leveled actions' cost lower bounds, so the first accepted
     solution minimizes the plan's cost lower bound (paper section 4:
-    "our algorithm optimizes the minimum cost of the plan"). *)
+    "our algorithm optimizes the minimum cost of the plan").
+
+    The hot path is incremental: each node carries a {!Replay.rstate}
+    snapshot of its suffix's optimistic resource map, extended by exactly
+    one action per search edge in the [Regression] replay mode, and a
+    duplicate table keyed by (canonical pending set, tail action set)
+    prunes permutations of already-open nodes — nodes agreeing on both
+    components regress the same obligations at the same cost.  Candidate
+    solutions (empty pending set) are exempt from duplicate pruning and
+    are still validated by a full from-init replay of the tail in
+    execution order, with a greedy re-sequencing fallback because that
+    validation is order-sensitive while dedup is not. *)
 
 type stats = {
   created : int;  (** RG nodes created *)
   expanded : int;
   open_left : int;  (** nodes left in the A* queue at termination *)
-  replay_pruned : int;  (** tails discarded by optimistic replay *)
+  replay_pruned : int;  (** successor edges discarded by optimistic replay *)
   final_replay_rejected : int;  (** complete tails rejected from the init map *)
+  duplicates : int;
+      (** successors pruned by the duplicate table: permutations of a
+          (pending set, action set) pair already on the open list *)
 }
 
 type result =
@@ -27,4 +41,13 @@ type result =
   | Exhausted  (** no resource-feasible plan (the scenario-A verdict) *)
   | Budget_exceeded
 
-val search : ?max_expansions:int -> Problem.t -> Plrg.t -> Slrg.t -> result * stats
+(** [dedup] (default [true]) toggles the duplicate-detection table —
+    exposed so tests can assert that pruning never changes the returned
+    plan cost. *)
+val search :
+  ?max_expansions:int ->
+  ?dedup:bool ->
+  Problem.t ->
+  Plrg.t ->
+  Slrg.t ->
+  result * stats

@@ -1,17 +1,13 @@
 module Heap = Sekitei_util.Heap
-
-module Key = struct
-  type t = int array
-
-  let equal = Stdlib.( = )
-  let hash = Hashtbl.hash
-end
-
-module H = Hashtbl.Make (Key)
+module H = Propset.Tbl
 
 type t = {
   problem : Problem.t;
   plrg : Plrg.t;
+  ctx : Propset.ctx;
+  supports_rel : int array array;
+      (** per proposition: relevant supporting actions, ascending id *)
+  seen : bool array;  (** scratch bitmap over action ids *)
   query_budget : int;
   solved : float H.t;  (** exact set costs *)
   bounds : float H.t;
@@ -20,10 +16,23 @@ type t = {
   mutable generated : int;
 }
 
-let create ?(query_budget = 500) problem plrg =
+let create ?(query_budget = 500) (problem : Problem.t) plrg =
+  let supports_rel =
+    Array.map
+      (fun aids ->
+        let arr =
+          Array.of_list (List.filter (Plrg.action_relevant plrg) aids)
+        in
+        Array.sort Int.compare arr;
+        arr)
+      problem.Problem.supports
+  in
   {
     problem;
     plrg;
+    ctx = Propset.make_ctx problem;
+    supports_rel;
+    seen = Array.make (Array.length problem.Problem.actions) false;
     query_budget;
     solved = H.create 256;
     bounds = H.create 256;
@@ -33,38 +42,30 @@ let create ?(query_budget = 500) problem plrg =
 let h_max t set =
   Array.fold_left (fun acc p -> Float.max acc (Plrg.cost t.plrg p)) 0. set
 
-(* Canonical set: sorted, deduplicated, with initially-true propositions
-   dropped. *)
-let canonical (pb : Problem.t) props =
-  let filtered = List.filter (fun p -> not pb.init.(p)) props in
-  let arr = Array.of_list (List.sort_uniq compare filtered) in
-  arr
-
-let regress (pb : Problem.t) set (a : Action.t) =
-  (* (set \ add_closure(a)) union pre(a), canonical. *)
-  let in_closure p = Array.exists (fun q -> q = p) a.Action.add_closure in
-  let remaining = Array.to_list set |> List.filter (fun p -> not (in_closure p)) in
-  canonical pb (Array.to_list a.Action.pre @ remaining)
-
-let candidate_actions t set =
-  let pb = t.problem in
-  let seen = Hashtbl.create 16 in
+let candidate_actions t (set : int array) =
   let acc = ref [] in
+  let count = ref 0 in
   Array.iter
     (fun p ->
-      List.iter
+      Array.iter
         (fun aid ->
-          if (not (Hashtbl.mem seen aid)) && Plrg.action_relevant t.plrg aid then begin
-            Hashtbl.add seen aid ();
-            acc := aid :: !acc
+          if not t.seen.(aid) then begin
+            t.seen.(aid) <- true;
+            acc := aid :: !acc;
+            incr count
           end)
-        pb.supports.(p))
+        t.supports_rel.(p))
     set;
-  List.sort compare !acc
+  let out = Array.make !count 0 in
+  List.iteri (fun i aid -> out.(i) <- aid) !acc;
+  List.iter (fun aid -> t.seen.(aid) <- false) !acc;
+  Array.sort Int.compare out;
+  out
 
-let query t props =
+(* [root] must be canonical (the RG passes its nodes' sets through
+   unchanged; results are memoized by that same canonical key). *)
+let query_set t (root : int array) =
   let pb = t.problem in
-  let root = canonical pb props in
   if Array.length root = 0 then 0.
   else
     match H.find_opt t.solved root with
@@ -113,10 +114,10 @@ let query t props =
                       result := Some !best_complete
                     end
                     else
-                      List.iter
+                      Array.iter
                         (fun aid ->
                           let a = pb.actions.(aid) in
-                          let set' = regress pb set a in
+                          let set' = Propset.regress t.ctx set a in
                           let g' = g +. a.Action.cost_lb in
                           match H.find_opt t.solved set' with
                           | Some rest ->
@@ -140,4 +141,5 @@ let query t props =
           cost
         end
 
+let query t props = query_set t (Propset.canonical t.problem props)
 let nodes_generated t = t.generated

@@ -22,6 +22,11 @@ val create : ?query_budget:int -> Problem.t -> Plrg.t -> t
     propositions from the initial state; [infinity] when impossible. *)
 val query : t -> int list -> float
 
+(** [query] over an {b already-canonical} set (see {!Propset}) — the RG
+    passes its nodes' sets straight through, skipping the list conversion
+    and re-canonicalization; results are memoized under that key. *)
+val query_set : t -> int array -> float
+
 (** Total number of set nodes generated across all queries so far
     (Table 2, column SLRG). *)
 val nodes_generated : t -> int

@@ -1,0 +1,106 @@
+(* Machine-readable planner benchmark records.
+
+   One record per (scenario, level) pair, serialized as a JSON array so
+   the perf trajectory of the RG search can be tracked across commits
+   (BENCH_rg.json at the repository root).  No JSON library is available
+   in the build environment, so emission and the schema check are
+   hand-rolled over the fixed, flat schema below. *)
+
+module Planner = Sekitei_core.Planner
+module Media = Sekitei_domains.Media
+
+type record = {
+  scenario : string;
+  actions : int;
+  rg_created : int;
+  rg_expanded : int;
+  rg_duplicates : int;
+  search_ms : float;
+}
+
+let measure ?config (sc : Scenarios.t) level =
+  let leveling = Media.leveling level sc.Scenarios.app in
+  let o = Planner.solve ?config sc.Scenarios.topo sc.Scenarios.app leveling in
+  let s = o.Planner.stats in
+  {
+    scenario =
+      Printf.sprintf "%s-%s" sc.Scenarios.name (Media.scenario_name level);
+    actions = s.Planner.total_actions;
+    rg_created = s.Planner.rg_created;
+    rg_expanded = s.Planner.rg_expanded;
+    rg_duplicates = s.Planner.rg_duplicates;
+    search_ms = s.Planner.t_search_ms;
+  }
+
+let run_default ?config () =
+  [
+    measure ?config (Scenarios.tiny ()) Media.C;
+    measure ?config (Scenarios.small ()) Media.C;
+  ]
+
+let record_to_json ?tag r =
+  let tag_field =
+    match tag with
+    | None -> ""
+    | Some t -> Printf.sprintf "\"tag\": \"%s\", " (String.escaped t)
+  in
+  Printf.sprintf
+    "{%s\"scenario\": \"%s\", \"actions\": %d, \"rg_created\": %d, \
+     \"rg_expanded\": %d, \"rg_duplicates\": %d, \"search_ms\": %.3f}"
+    tag_field (String.escaped r.scenario) r.actions r.rg_created r.rg_expanded
+    r.rg_duplicates r.search_ms
+
+let to_json ?tag records =
+  "[\n  "
+  ^ String.concat ",\n  " (List.map (record_to_json ?tag) records)
+  ^ "\n]\n"
+
+let required_keys =
+  [
+    "\"scenario\"";
+    "\"actions\"";
+    "\"rg_created\"";
+    "\"rg_expanded\"";
+    "\"rg_duplicates\"";
+    "\"search_ms\"";
+  ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+(* Minimal structural check of an emitted document: a JSON array of
+   objects, each carrying every schema key.  Returns the record count. *)
+let validate doc =
+  let doc = String.trim doc in
+  let n = String.length doc in
+  if n < 2 || doc.[0] <> '[' || doc.[n - 1] <> ']' then
+    Error "not a JSON array"
+  else
+    let body = String.trim (String.sub doc 1 (n - 2)) in
+    if body = "" then Ok 0
+    else
+      (* Records are emitted one per line; split on '}' boundaries. *)
+      let chunks =
+        String.split_on_char '}' body
+        |> List.filter (fun c -> String.trim c <> "" && String.trim c <> ",")
+      in
+      let check i chunk =
+        match
+          List.find_opt (fun k -> not (contains chunk k)) required_keys
+        with
+        | Some missing ->
+            Error (Printf.sprintf "record %d: missing key %s" i missing)
+        | None -> Ok ()
+      in
+      let rec go i = function
+        | [] -> Ok (List.length chunks)
+        | c :: rest -> (
+            match check i c with Ok () -> go (i + 1) rest | Error e -> Error e)
+      in
+      go 0 chunks
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,35 @@
+(** Machine-readable planner benchmark records ([bench/main.exe --json]).
+
+    Emits one flat JSON object per (scenario, level) pair —
+    [{scenario, actions, rg_created, rg_expanded, rg_duplicates,
+    search_ms}] — collected into a JSON array written to [BENCH_rg.json]
+    so the RG search's perf trajectory is tracked across commits. *)
+
+type record = {
+  scenario : string;  (** e.g. ["Small-C"] *)
+  actions : int;  (** leveled actions after pruning *)
+  rg_created : int;
+  rg_expanded : int;
+  rg_duplicates : int;
+  search_ms : float;
+}
+
+(** Solve the scenario at the given level and collect its record. *)
+val measure :
+  ?config:Sekitei_core.Planner.config ->
+  Scenarios.t ->
+  Sekitei_domains.Media.scenario ->
+  record
+
+(** The default tracked set: Tiny-C and Small-C. *)
+val run_default : ?config:Sekitei_core.Planner.config -> unit -> record list
+
+(** Serialize as a JSON array, one record per line.  [tag] adds a
+    ["tag"] field to every record (e.g. a commit phase label). *)
+val to_json : ?tag:string -> record list -> string
+
+(** Structural schema check of an emitted document; [Ok n] is the record
+    count.  Used by the test-suite smoke test. *)
+val validate : string -> (int, string) result
+
+val write_file : string -> string -> unit

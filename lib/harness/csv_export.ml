@@ -17,7 +17,7 @@ let header =
   [
     "network"; "levels"; "found"; "cost_bound"; "plan_actions";
     "realized_cost"; "lan_peak"; "wan_peak"; "total_actions"; "plrg_props";
-    "plrg_actions"; "slrg_nodes"; "rg_created"; "rg_open"; "time_total_ms";
+    "plrg_actions"; "slrg_nodes"; "rg_created"; "rg_open"; "rg_duplicates"; "time_total_ms";
     "time_search_ms";
   ]
 
@@ -53,6 +53,7 @@ let table2_csv rows =
                string_of_int s.Planner.slrg_nodes;
                string_of_int s.Planner.rg_created;
                string_of_int s.Planner.rg_open_left;
+               string_of_int s.Planner.rg_duplicates;
                float_cell s.Planner.t_total_ms;
                float_cell s.Planner.t_search_ms;
              ])))

@@ -13,6 +13,7 @@ let () =
       ("spec.dsl", Test_dsl.suite);
       ("core.compile", Test_core_compile.suite);
       ("core.replay", Test_core_replay.suite);
+      ("core.replay.incremental", Test_replay_incremental.suite);
       ("core.graphs", Test_core_graphs.suite);
       ("core.planner", Test_planner.suite);
       ("domains", Test_domains.suite);
