@@ -1,4 +1,4 @@
-.PHONY: build test bench bench-json clean
+.PHONY: build test bench bench-json profile clean
 
 build:
 	dune build
@@ -14,6 +14,14 @@ bench:
 # The perf trajectory of the RG search is tracked across commits there.
 bench-json:
 	dune exec bench/main.exe -- --json
+
+# Profile the Small-C run: trace every planner phase to JSONL and render
+# the span tree / counter summary.
+profile:
+	dune build bin tools
+	dune exec -- sekitei plan --network small --levels C \
+	  --trace /tmp/sekitei_profile.jsonl > /dev/null
+	dune exec -- tools/trace_report.exe /tmp/sekitei_profile.jsonl
 
 clean:
 	dune clean

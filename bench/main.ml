@@ -68,7 +68,9 @@ let level_sensitivity () =
         Leveling.propagate sc.Scenarios.app
           (Leveling.with_iface Leveling.empty "M" "ibw" cuts)
       in
-      let o = Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling in
+      let o =
+        Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)
+      in
       Table.add_row t
         [
           String.concat "," (List.map (Printf.sprintf "%g") cuts);
@@ -111,7 +113,7 @@ let size_scaling () =
       if R.hop_distance topo server client <> None then begin
         let app = Sekitei_domains.Media.app ~server ~client () in
         let leveling = Sekitei_domains.Media.leveling Sekitei_domains.Media.C app in
-        let o = Planner.solve topo app leveling in
+        let o = Planner.plan (Planner.request topo app ~leveling) in
         Table.add_row t
           [
             string_of_int (Sekitei_network.Topology.node_count topo);
@@ -141,7 +143,8 @@ let microbenches () =
   let small = Scenarios.small () in
   let solve sc level () =
     let leveling = Media.leveling level sc.Scenarios.app in
-    ignore (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling)
+    ignore
+      (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling))
   in
   let compile sc level () =
     let leveling = Media.leveling level sc.Scenarios.app in

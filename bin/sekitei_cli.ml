@@ -14,6 +14,7 @@ module Model = Sekitei_spec.Model
 module Validate = Sekitei_spec.Validate
 module Dsl = Sekitei_spec.Dsl
 module Planner = Sekitei_core.Planner
+module Telemetry = Sekitei_telemetry.Telemetry
 module Plan = Sekitei_core.Plan
 module Compile = Sekitei_core.Compile
 module Replay = Sekitei_core.Replay
@@ -77,6 +78,52 @@ let slrg_budget_arg =
   Arg.(value & opt int Planner.default_config.Planner.slrg_query_budget
        & info [ "slrg-budget" ] ~docv:"N" ~doc)
 
+let trace_arg =
+  let doc = "Write a JSONL telemetry trace (spans, counters, progress) to \
+             this file.  Summarize it with tools/trace_report.exe." in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc = "Print periodic search-progress events (expansions, open-list \
+             size, best f) to stderr." in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
+(* Assemble the run's telemetry handle from --trace/--progress; returns the
+   handle and a finalizer that flushes and closes the sinks. *)
+let telemetry_of trace progress =
+  let progress_sink =
+    if not progress then []
+    else
+      [
+        Telemetry.sink (function
+          | Telemetry.Progress { name; t_ms; attrs } ->
+              Format.eprintf "[%7.1fms] %s:%a@." t_ms name
+                (fun fmt ->
+                  List.iter (fun (k, v) ->
+                      Format.fprintf fmt " %s=%s" k
+                        (match v with
+                        | Telemetry.Bool b -> string_of_bool b
+                        | Telemetry.Int i -> string_of_int i
+                        | Telemetry.Float f -> Printf.sprintf "%g" f
+                        | Telemetry.Str s -> s)))
+                attrs
+          | _ -> ());
+      ]
+  in
+  match trace with
+  | None when progress_sink = [] -> (Telemetry.null, fun () -> ())
+  | None ->
+      let t = Telemetry.create progress_sink in
+      (t, fun () -> Telemetry.close t)
+  | Some file ->
+      let oc = open_out file in
+      let t = Telemetry.create (Telemetry.jsonl oc :: progress_sink) in
+      ( t,
+        fun () ->
+          Telemetry.close t;
+          close_out oc;
+          Format.printf "trace written to %s@." file )
+
 let scenario_of = function
   | `Tiny -> Scenarios.tiny ()
   | `Small -> Scenarios.small ()
@@ -91,19 +138,19 @@ let config_of rg slrg =
 (* plan                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let report_outcome ?dot_file ?(audit = false) pb (outcome : Planner.outcome) =
-  (match (audit, outcome.Planner.result) with
+let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
+  (match (audit, report.Planner.result) with
   | true, Ok p -> (
       match Sekitei_core.Audit.of_plan pb p with
       | Ok a -> print_string (Sekitei_core.Audit.to_string pb a)
       | Error e -> Format.printf "audit failed: %s@." e)
   | _ -> ());
-  (match (dot_file, outcome.Planner.result) with
+  (match (dot_file, report.Planner.result) with
   | Some file, Ok p ->
       Sekitei_core.Deployment_dot.write_file pb p file;
       Format.printf "deployment graph written to %s@." file
   | _ -> ());
-  (match outcome.Planner.result with
+  (match report.Planner.result with
   | Ok p ->
       Format.printf "Plan (%d actions, cost bound %g, realized cost %g):@."
         (Plan.length p) p.Plan.cost_lb p.Plan.metrics.Replay.realized_cost;
@@ -119,54 +166,65 @@ let report_outcome ?dot_file ?(audit = false) pb (outcome : Planner.outcome) =
             v)
         m.Replay.delivered
   | Error r -> Format.printf "No plan: %a@." Planner.pp_failure_reason r);
-  Format.printf "Stats: %a@." Planner.pp_stats outcome.Planner.stats;
-  match outcome.Planner.result with Ok _ -> 0 | Error _ -> 1
+  Format.printf "Stats: %a@." Planner.pp_stats report.Planner.stats;
+  Format.printf "Phases: %a@." Planner.pp_phases report.Planner.phases;
+  match report.Planner.result with Ok _ -> 0 | Error _ -> 1
 
 let plan_cmd =
-  let run spec network levels seed rg slrg dot_file audit suggest verbose =
+  let run spec network levels seed rg slrg dot_file audit suggest trace
+      progress verbose =
     setup_logs verbose;
     let config = config_of rg slrg in
-    match spec with
-    | Some file -> (
-        match Dsl.load_file file with
-        | exception Dsl.Dsl_error msg ->
-            Format.eprintf "spec error: %s@." msg;
-            2
-        | doc -> (
-            match doc.Dsl.topo with
-            | None ->
-                Format.eprintf "spec file has no network block@.";
-                2
-            | Some topo ->
-                let leveling =
-                  if suggest then Sekitei_spec.Leveling.suggest doc.Dsl.app
-                  else doc.Dsl.leveling
-                in
-                let pb = Compile.compile topo doc.Dsl.app leveling in
-                report_outcome ?dot_file ~audit pb
-                  (Planner.solve ~config topo doc.Dsl.app leveling)))
-    | None ->
-        let sc =
-          match network with
-          | `Large -> Scenarios.large ~seed ()
-          | other -> scenario_of other
-        in
-        let leveling =
-          if suggest then Sekitei_spec.Leveling.suggest sc.Scenarios.app
-          else Media.leveling levels sc.Scenarios.app
-        in
-        let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-        Format.printf "Planning %s with %s...@." sc.Scenarios.name
-          (if suggest then "suggested levels"
-           else "level scenario " ^ Media.scenario_name levels);
-        report_outcome ?dot_file ~audit pb
-          (Planner.solve ~config sc.Scenarios.topo sc.Scenarios.app leveling)
+    let telemetry, finish_telemetry = telemetry_of trace progress in
+    let code =
+      match spec with
+      | Some file -> (
+          match Dsl.load_file file with
+          | exception Dsl.Dsl_error msg ->
+              Format.eprintf "spec error: %s@." msg;
+              2
+          | doc -> (
+              match doc.Dsl.topo with
+              | None ->
+                  Format.eprintf "spec file has no network block@.";
+                  2
+              | Some topo ->
+                  let leveling =
+                    if suggest then Sekitei_spec.Leveling.suggest doc.Dsl.app
+                    else doc.Dsl.leveling
+                  in
+                  let pb = Compile.compile topo doc.Dsl.app leveling in
+                  report_outcome ?dot_file ~audit pb
+                    (Planner.plan
+                       (Planner.request ~config ~telemetry topo doc.Dsl.app
+                          ~leveling))))
+      | None ->
+          let sc =
+            match network with
+            | `Large -> Scenarios.large ~seed ()
+            | other -> scenario_of other
+          in
+          let leveling =
+            if suggest then Sekitei_spec.Leveling.suggest sc.Scenarios.app
+            else Media.leveling levels sc.Scenarios.app
+          in
+          let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
+          Format.printf "Planning %s with %s...@." sc.Scenarios.name
+            (if suggest then "suggested levels"
+             else "level scenario " ^ Media.scenario_name levels);
+          report_outcome ?dot_file ~audit pb
+            (Planner.plan
+               (Planner.request ~config ~telemetry sc.Scenarios.topo
+                  sc.Scenarios.app ~leveling))
+    in
+    finish_telemetry ();
+    code
   in
   let term =
     Term.(
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
       $ slrg_budget_arg $ deployment_dot_arg $ audit_arg $ suggest_arg
-      $ verbose_arg)
+      $ trace_arg $ progress_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
 

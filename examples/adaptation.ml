@@ -38,7 +38,7 @@ let () =
   let sc = Scenarios.small () in
   let leveling = Media.leveling Media.D sc.Scenarios.app in
   let pb0 = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Error r -> Format.printf "initial planning failed: %a@." Planner.pp_failure_reason r
   | Ok p0 ->
       Format.printf "Initial deployment (%d actions, cost bound %g):@.%s@.@."

@@ -27,7 +27,7 @@ let () =
       let app = Chain.app ~cross_weight:alpha () in
       let leveling = Chain.leveling app in
       let pb = Compile.compile topo app leveling in
-      match (Planner.solve topo app leveling).Planner.result with
+      match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
       | Ok p ->
           let zip =
             List.exists (fun (n, _) -> String.equal n "Zip") (Plan.placements pb p)

@@ -69,7 +69,7 @@ let () =
   let doc = Dsl.parse_document spec in
   let topo = Option.get doc.Dsl.topo in
   let pb = Compile.compile topo doc.Dsl.app doc.Dsl.leveling in
-  match (Planner.solve topo doc.Dsl.app doc.Dsl.leveling).Planner.result with
+  match (Planner.plan (Planner.request topo doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result with
   | Ok p ->
       Format.printf "Plan (%d actions, cost bound %g):@.%s@." (Plan.length p)
         p.Plan.cost_lb (Plan.to_string pb p);

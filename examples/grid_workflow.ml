@@ -29,7 +29,7 @@ let () =
       let leveling = Gridflow.leveling app in
       let pb = Compile.compile topo app leveling in
       Format.printf "deadline %g: " deadline;
-      match (Planner.solve topo app leveling).Planner.result with
+      match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
       | Ok p ->
           Format.printf "%d-action plan (cost bound %g)@.  %s@." (Plan.length p)
             p.Plan.cost_lb

@@ -20,7 +20,7 @@ module Replay = Sekitei_core.Replay
 let describe name sc level =
   let leveling = Media.leveling level sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p ->
       Format.printf "== %s ==@." name;
       Format.printf "%s@." (Plan.to_string pb p);
@@ -38,7 +38,7 @@ let () =
   describe "Scenario B: coarse levels find the shortest plan" sc Media.B;
   describe "Scenario C: finer levels find the resource-optimal plan" sc Media.C;
   (* The greedy baseline fails outright. *)
-  (match (Planner.solve_greedy sc.Scenarios.topo sc.Scenarios.app).Planner.result with
+  (match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app)).Planner.result with
   | Ok _ -> Format.printf "greedy unexpectedly found a plan@."
   | Error r ->
       Format.printf

@@ -29,7 +29,7 @@ let () =
   let leveling = Media.leveling Media.C app in
 
   (* 4. Plan. *)
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok plan ->
       let pb = Compile.compile topo app leveling in
       Format.printf "Found a %d-action plan (cost bound %g):@.%s@."

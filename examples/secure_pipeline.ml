@@ -23,7 +23,7 @@ let describe secure =
   Format.printf "links [%s]: "
     (String.concat "; "
        (List.map (fun s -> if s = 1 then "secure" else "open") secure));
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok p ->
       Format.printf "%d actions, cost bound %g@.  %s@.@." (Plan.length p)
         p.Plan.cost_lb
@@ -42,7 +42,7 @@ let () =
   let app = Webservice.app ~backend:0 ~consumer:3 () in
   let leveling = Webservice.leveling app in
   let pb = Compile.compile topo app leveling in
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok p ->
       Format.printf "DOT rendering of the bracketed deployment:@.%s@."
         (Deployment_dot.render pb p)

@@ -3,6 +3,7 @@ module Expr = Sekitei_expr.Expr
 module Topology = Sekitei_network.Topology
 module Model = Sekitei_spec.Model
 module Leveling = Sekitei_spec.Leveling
+module Telemetry = Sekitei_telemetry.Telemetry
 
 exception Compile_error of string
 
@@ -69,7 +70,8 @@ let implied_levels tag n_levels level =
 (* Compilation proper                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.) topo (app0 : Model.app) leveling =
+let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
+    ?(telemetry = Telemetry.null) topo (app0 : Model.app) leveling =
   let app, restrictions = rewrite_goals app0 in
   let ifaces = Array.of_list app.interfaces in
   let comps = Array.of_list app.components in
@@ -242,6 +244,11 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.) topo (app0 : Model.app) leveli
   in
 
   let lo_env_of ivl_env v = I.lo (ivl_env v) in
+
+  (* Leveled grounding: everything from here to the [actions] array is
+     schema replication over level assignments plus pruning — the
+     "leveling" sub-span of compilation. *)
+  let sp_leveling = Telemetry.begin_span telemetry "leveling" in
 
   (* ----- place actions ----- *)
   Array.iteri
@@ -530,6 +537,9 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.) topo (app0 : Model.app) leveli
     ifaces;
 
   let actions = Array.of_list (List.rev !actions) in
+  ignore
+    (Telemetry.end_span telemetry sp_leveling
+       ~attrs:[ ("actions", Telemetry.Int (Array.length actions)) ]);
 
   (* ---------------- supports ---------------- *)
   let supports = Array.make (Prop.count props) [] in

@@ -26,11 +26,15 @@ exception Compile_error of string
     {!Redeploy}'s keep-discounts and migration surcharges.  A total action
     cost is never adjusted below zero.
 
+    [telemetry] wraps the leveled-grounding stage in a ["leveling"]
+    sub-span (attribute: leveled action count).
+
     @raise Compile_error on inconsistent specifications (pre-placed
     components with requirements, violated initial conditions, negative
     cost bounds). *)
 val compile :
   ?adjust:(comp:string -> node:int -> float) ->
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
   Sekitei_network.Topology.t ->
   Sekitei_spec.Model.app ->
   Sekitei_spec.Leveling.t ->

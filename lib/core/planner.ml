@@ -2,6 +2,7 @@ let src = Logs.Src.create "sekitei.planner" ~doc:"Sekitei planner phases"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 module Timer = Sekitei_util.Timer
+module Telemetry = Sekitei_telemetry.Telemetry
 module Topology = Sekitei_network.Topology
 module Model = Sekitei_spec.Model
 module Leveling = Sekitei_spec.Leveling
@@ -19,9 +20,9 @@ let default_config =
 
 type failure_reason =
   | Invalid_spec of string
-  | Unreachable_goal
+  | Unreachable_goal of string list
   | Resource_exhausted
-  | Search_limit
+  | Search_limit of { expansions : int; best_f : float }
 
 type stats = {
   total_actions : int;
@@ -40,6 +41,33 @@ type stats = {
 
 type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
 
+type request = {
+  topo : Topology.t;
+  app : Model.app;
+  leveling : Leveling.t;
+  config : config;
+  telemetry : Telemetry.t;
+}
+
+let request ?(config = default_config) ?(telemetry = Telemetry.null)
+    ?(leveling = Leveling.empty) topo app =
+  { topo; app; leveling; config; telemetry }
+
+type phase = { ms : float; items : int }
+
+type phases = {
+  compile : phase;  (** items = leveled actions after pruning *)
+  plrg : phase;  (** items = relevant propositions *)
+  slrg : phase;  (** items = set nodes generated *)
+  rg : phase;  (** items = RG nodes created *)
+}
+
+type report = {
+  result : (Plan.t, failure_reason) Stdlib.result;
+  phases : phases;
+  stats : stats;
+}
+
 let empty_stats =
   {
     total_actions = 0;
@@ -56,11 +84,23 @@ let empty_stats =
     t_search_ms = 0.;
   }
 
-let solve ?(config = default_config) ?adjust topo app leveling =
+let no_phase = { ms = 0.; items = 0 }
+
+let empty_phases =
+  { compile = no_phase; plrg = no_phase; slrg = no_phase; rg = no_phase }
+
+let plan ?adjust (req : request) =
+  let { topo; app; leveling; config; telemetry } = req in
   let t_total = Timer.start () in
-  let invalid msg =
-    { result = Error (Invalid_spec msg); stats = empty_stats }
+  let sp_plan = Telemetry.begin_span telemetry "plan" in
+  let finish ?(phases = empty_phases) result stats =
+    Telemetry.flush_counters telemetry;
+    ignore
+      (Telemetry.end_span telemetry sp_plan
+         ~attrs:[ ("ok", Telemetry.Bool (Result.is_ok result)) ]);
+    { result; phases; stats }
   in
+  let invalid msg = finish (Error (Invalid_spec msg)) empty_stats in
   match
     if config.validate_spec then
       match Validate.check topo app with
@@ -73,23 +113,44 @@ let solve ?(config = default_config) ?adjust topo app leveling =
   with
   | Error msg -> invalid msg
   | Ok () -> (
-      match Compile.compile ?adjust topo app leveling with
-      | exception Compile.Compile_error msg -> invalid msg
+      let sp_compile = Telemetry.begin_span telemetry "compile" in
+      match Compile.compile ?adjust ~telemetry topo app leveling with
+      | exception Compile.Compile_error msg ->
+          ignore (Telemetry.end_span telemetry sp_compile);
+          invalid msg
       | pb ->
+          let total_actions = Array.length pb.Problem.actions in
+          let compile_ms =
+            Telemetry.end_span telemetry sp_compile
+              ~attrs:
+                [
+                  ("actions", Telemetry.Int total_actions);
+                  ("props", Telemetry.Int (Prop.count pb.Problem.props));
+                ]
+          in
           Log.info (fun m ->
-              m "compiled: %d leveled actions, %d propositions"
-                (Array.length pb.Problem.actions)
+              m "compiled: %d leveled actions, %d propositions" total_actions
                 (Prop.count pb.Problem.props));
           let t_search = Timer.start () in
-          let plrg = Plrg.build pb in
+          let sp_plrg = Telemetry.begin_span telemetry "plrg" in
+          let plrg = Plrg.build ~telemetry pb in
           let plrg_props, plrg_actions = Plrg.stats plrg in
+          let plrg_ms =
+            Telemetry.end_span telemetry sp_plrg
+              ~attrs:
+                [
+                  ("relevant_props", Telemetry.Int plrg_props);
+                  ("relevant_actions", Telemetry.Int plrg_actions);
+                  ("reachable", Telemetry.Bool (Plrg.goals_reachable plrg));
+                ]
+          in
           Log.info (fun m ->
               m "PLRG: %d relevant propositions, %d relevant actions, goals %s"
                 plrg_props plrg_actions
                 (if Plrg.goals_reachable plrg then "reachable" else "UNREACHABLE"));
           let base_stats search_ms slrg rg_stats =
             {
-              total_actions = Array.length pb.Problem.actions;
+              total_actions;
               plrg_props;
               plrg_actions;
               slrg_nodes =
@@ -112,15 +173,44 @@ let solve ?(config = default_config) ?adjust topo app leveling =
               t_search_ms = search_ms;
             }
           in
-          if not (Plrg.goals_reachable plrg) then
+          let base_phases ?(slrg_ms = 0.) ?(slrg_items = 0) ?(rg_ms = 0.)
+              ?(rg_items = 0) () =
             {
-              result = Error Unreachable_goal;
-              stats = base_stats (Timer.elapsed_ms t_search) None None;
+              compile = { ms = compile_ms; items = total_actions };
+              plrg = { ms = plrg_ms; items = plrg_props };
+              slrg = { ms = slrg_ms; items = slrg_items };
+              rg = { ms = rg_ms; items = rg_items };
             }
+          in
+          if not (Plrg.goals_reachable plrg) then begin
+            let unreachable =
+              Plrg.unreachable_goals plrg
+              |> List.map (Problem.prop_label pb)
+            in
+            finish
+              ~phases:(base_phases ())
+              (Error (Unreachable_goal unreachable))
+              (base_stats (Timer.elapsed_ms t_search) None None)
+          end
           else begin
-            let slrg = Slrg.create ~query_budget:config.slrg_query_budget pb plrg in
+            let sp_slrg = Telemetry.begin_span telemetry "slrg" in
+            let slrg =
+              Slrg.create ~telemetry ~query_budget:config.slrg_query_budget pb
+                plrg
+            in
+            let slrg_create_ms = Telemetry.end_span telemetry sp_slrg in
+            let sp_rg = Telemetry.begin_span telemetry "rg" in
             let result, rg_stats =
-              Rg.search ~max_expansions:config.rg_max_expansions pb plrg slrg
+              Rg.search ~max_expansions:config.rg_max_expansions ~telemetry pb
+                plrg slrg
+            in
+            let rg_ms =
+              Telemetry.end_span telemetry sp_rg
+                ~attrs:
+                  [
+                    ("created", Telemetry.Int rg_stats.Rg.created);
+                    ("expanded", Telemetry.Int rg_stats.Rg.expanded);
+                  ]
             in
             Log.info (fun m ->
                 m
@@ -132,27 +222,48 @@ let solve ?(config = default_config) ?adjust topo app leveling =
             let stats =
               base_stats (Timer.elapsed_ms t_search) (Some slrg) (Some rg_stats)
             in
+            (* SLRG queries run lazily inside the RG search; their cumulative
+               wall time is attributed to the slrg phase and is therefore a
+               subset of the rg span's wall time. *)
+            let phases =
+              base_phases
+                ~slrg_ms:(slrg_create_ms +. Slrg.query_ms slrg)
+                ~slrg_items:(Slrg.nodes_generated slrg) ~rg_ms
+                ~rg_items:rg_stats.Rg.created ()
+            in
             match result with
             | Rg.Solution (tail, metrics, cost_lb) ->
                 Log.info (fun m ->
                     m "solution: %d actions, cost bound %g, realized %g"
                       (List.length tail) cost_lb metrics.Replay.realized_cost);
-                {
-                  result = Ok { Plan.steps = tail; cost_lb; metrics };
-                  stats;
-                }
-            | Rg.Exhausted -> { result = Error Resource_exhausted; stats }
-            | Rg.Budget_exceeded -> { result = Error Search_limit; stats }
+                finish ~phases
+                  (Ok { Plan.steps = tail; cost_lb; metrics })
+                  stats
+            | Rg.Exhausted -> finish ~phases (Error Resource_exhausted) stats
+            | Rg.Budget_exceeded { expansions; best_f } ->
+                finish ~phases (Error (Search_limit { expansions; best_f })) stats
           end)
 
-let solve_greedy ?config topo app = solve ?config topo app Leveling.empty
+let solve ?config ?adjust topo app leveling =
+  let report = plan ?adjust (request ?config topo app ~leveling) in
+  ({ result = report.result; stats = report.stats } : outcome)
+
+let solve_greedy ?config topo app =
+  let report = plan (request ?config topo app) in
+  ({ result = report.result; stats = report.stats } : outcome)
 
 let pp_failure_reason fmt = function
   | Invalid_spec msg -> Format.fprintf fmt "invalid specification: %s" msg
-  | Unreachable_goal -> Format.pp_print_string fmt "goal logically unreachable"
+  | Unreachable_goal [] -> Format.pp_print_string fmt "goal logically unreachable"
+  | Unreachable_goal props ->
+      Format.fprintf fmt "goal logically unreachable (%s)"
+        (String.concat ", " props)
   | Resource_exhausted ->
       Format.pp_print_string fmt "no resource-feasible plan found"
-  | Search_limit -> Format.pp_print_string fmt "search budget exceeded"
+  | Search_limit { expansions; best_f } ->
+      Format.fprintf fmt
+        "search budget exceeded after %d expansions (best open bound %g)"
+        expansions best_f
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -161,3 +272,9 @@ let pp_stats fmt s =
     s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
     s.rg_open_left s.rg_expanded s.replay_pruned s.rg_duplicates
     s.final_replay_rejected s.t_total_ms s.t_search_ms
+
+let pp_phases fmt p =
+  Format.fprintf fmt
+    "compile=%.1fms/%d plrg=%.1fms/%d slrg=%.1fms/%d rg=%.1fms/%d"
+    p.compile.ms p.compile.items p.plrg.ms p.plrg.items p.slrg.ms p.slrg.items
+    p.rg.ms p.rg.items

@@ -1,9 +1,14 @@
 (** The planner façade: validate, compile, run the three phases, report.
 
-    [solve topo app leveling] is the modified Sekitei algorithm of the
-    paper; [solve_greedy] runs it with the trivial leveling (every variable
-    one [0, inf) level), which degenerates to the original greedy Sekitei
-    (Table 1, scenario A). *)
+    The entry point is {!plan} over a {!request} record; it returns a
+    {!report} carrying the result, per-phase timings/sizes and the flat
+    {!stats} record.  [plan (request topo app ~leveling)] is the modified
+    Sekitei algorithm of the paper; omitting [~leveling] runs the trivial
+    leveling (every variable one [0, inf) level), which degenerates to the
+    original greedy Sekitei (Table 1, scenario A).
+
+    {!solve} and {!solve_greedy} are deprecated positional wrappers kept
+    for source compatibility. *)
 
 type config = {
   slrg_query_budget : int;  (** set-node budget per SLRG query *)
@@ -15,12 +20,15 @@ val default_config : config
 
 type failure_reason =
   | Invalid_spec of string
-  | Unreachable_goal
-      (** the PLRG proves the goals logically unreachable *)
+  | Unreachable_goal of string list
+      (** the PLRG proves the goals logically unreachable; carries the
+          labels of the goal propositions with infinite PLRG cost *)
   | Resource_exhausted
       (** goals logically reachable, but every candidate tail violates
           resources — the scenario-A failure mode *)
-  | Search_limit  (** RG expansion budget exceeded *)
+  | Search_limit of { expansions : int; best_f : float }
+      (** RG expansion budget exceeded; [best_f] is an admissible lower
+          bound on the cost of any plan a longer search could find *)
 
 type stats = {
   total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)
@@ -41,8 +49,56 @@ type stats = {
 
 type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
 
-(** [adjust] is forwarded to {!Compile.compile} (per-placement cost
-    adjustments, used by {!Redeploy}). *)
+(** Everything a planning run needs.  Build with {!request}; override
+    fields with record update syntax ([{ req with config = ... }]). *)
+type request = {
+  topo : Sekitei_network.Topology.t;
+  app : Sekitei_spec.Model.app;
+  leveling : Sekitei_spec.Leveling.t;
+  config : config;
+  telemetry : Sekitei_telemetry.Telemetry.t;
+}
+
+(** Smart constructor: [config] defaults to {!default_config}, [telemetry]
+    to {!Sekitei_telemetry.Telemetry.null} (zero-overhead), [leveling] to
+    the empty (greedy) leveling. *)
+val request :
+  ?config:config ->
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?leveling:Sekitei_spec.Leveling.t ->
+  Sekitei_network.Topology.t ->
+  Sekitei_spec.Model.app ->
+  request
+
+(** One phase of the pipeline: wall time and a characteristic size. *)
+type phase = { ms : float; items : int }
+
+type phases = {
+  compile : phase;  (** items = leveled actions after pruning *)
+  plrg : phase;  (** items = relevant propositions *)
+  slrg : phase;
+      (** items = set nodes generated; [ms] = oracle construction plus the
+          cumulative wall time of its lazy queries, which run {e inside}
+          the RG search (so [slrg.ms] overlaps [rg.ms]) *)
+  rg : phase;  (** items = RG nodes created *)
+}
+
+type report = {
+  result : (Plan.t, failure_reason) Stdlib.result;
+  phases : phases;
+      (** per-phase timings are measured monotonically even with the null
+          telemetry; phases not reached report [{ ms = 0.; items = 0 }] *)
+  stats : stats;
+}
+
+(** Run the planner on a request.  [adjust] is forwarded to
+    {!Compile.compile} (per-placement cost adjustments, used by
+    {!Redeploy}).  When the request carries a telemetry handle with sinks,
+    the run emits a span tree rooted at ["plan"] (compile/leveling, plrg,
+    slrg, rg, replay, replay.repair, per-query slrg.query), aggregated
+    counters, and periodic ["rg"] progress events. *)
+val plan : ?adjust:(comp:string -> node:int -> float) -> request -> report
+
 val solve :
   ?config:config ->
   ?adjust:(comp:string -> node:int -> float) ->
@@ -50,13 +106,16 @@ val solve :
   Sekitei_spec.Model.app ->
   Sekitei_spec.Leveling.t ->
   outcome
+[@@ocaml.deprecated "Use Planner.plan (Planner.request topo app ~leveling)."]
 
-(** Original greedy Sekitei: [solve] with the empty leveling. *)
+(** Original greedy Sekitei: the empty leveling. *)
 val solve_greedy :
   ?config:config ->
   Sekitei_network.Topology.t ->
   Sekitei_spec.Model.app ->
   outcome
+[@@ocaml.deprecated "Use Planner.plan (Planner.request topo app)."]
 
 val pp_failure_reason : Format.formatter -> failure_reason -> unit
 val pp_stats : Format.formatter -> stats -> unit
+val pp_phases : Format.formatter -> phases -> unit

@@ -1,4 +1,5 @@
 module Heap = Sekitei_util.Heap
+module Telemetry = Sekitei_telemetry.Telemetry
 
 type t = {
   problem : Problem.t;
@@ -8,7 +9,7 @@ type t = {
   relevant_prop : bool array;
 }
 
-let build (pb : Problem.t) =
+let build ?(telemetry = Telemetry.null) (pb : Problem.t) =
   let n_props = Prop.count pb.props in
   let n_acts = Array.length pb.actions in
   let costs = Array.make n_props Float.infinity in
@@ -93,12 +94,26 @@ let build (pb : Problem.t) =
           end)
         pb.supports.(pid)
   done;
-  { problem = pb; costs; action_costs; relevant_act; relevant_prop }
+  let t = { problem = pb; costs; action_costs; relevant_act; relevant_prop } in
+  if Telemetry.enabled telemetry then begin
+    let count_true a =
+      Array.fold_left (fun n b -> if b then n + 1 else n) 0 a
+    in
+    Telemetry.count telemetry "plrg.relevant_props" (count_true relevant_prop);
+    Telemetry.count telemetry "plrg.relevant_actions" (count_true relevant_act)
+  end;
+  t
 
 let cost t pid = t.costs.(pid)
 
 let goals_reachable t =
   Array.for_all (fun g -> Float.is_finite t.costs.(g)) t.problem.Problem.goal_props
+
+(* Goal proposition ids with infinite cost — the PLRG's unreachability
+   proof, surfaced as evidence in {!Planner.Unreachable_goal}. *)
+let unreachable_goals t =
+  Array.to_list t.problem.Problem.goal_props
+  |> List.filter (fun g -> not (Float.is_finite t.costs.(g)))
 
 let relevant_actions t =
   let acc = ref [] in

@@ -15,7 +15,10 @@
 
 type t
 
-val build : Problem.t -> t
+(** [telemetry] records the relevant-cone sizes as counters
+    ([plrg.relevant_props] / [plrg.relevant_actions]); the planner wraps
+    the call in a ["plrg"] span. *)
+val build : ?telemetry:Sekitei_telemetry.Telemetry.t -> Problem.t -> t
 
 (** Admissible lower bound on the cost of achieving a proposition;
     [infinity] when logically unreachable. *)
@@ -23,6 +26,11 @@ val cost : t -> int -> float
 
 (** Is every goal reachable? *)
 val goals_reachable : t -> bool
+
+(** Goal proposition ids the cost sweep proved logically unreachable
+    (infinite cost) — the evidence behind
+    {!Planner.failure_reason.Unreachable_goal}. *)
+val unreachable_goals : t -> int list
 
 (** Action ids usable on some finite-cost support chain (every
     precondition reachable).  The RG restricts branching to these. *)

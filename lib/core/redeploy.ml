@@ -16,7 +16,12 @@ let adjust_of policy previous ~comp ~node =
   | None -> 0.
 
 let replan ?config ?(policy = default_policy) ~previous topo app leveling =
-  Planner.solve ?config ~adjust:(adjust_of policy previous) topo app leveling
+  let report =
+    Planner.plan
+      ~adjust:(adjust_of policy previous)
+      (Planner.request ?config topo app ~leveling)
+  in
+  { Planner.result = report.Planner.result; stats = report.Planner.stats }
 
 let diff ~previous pb plan =
   let current = Plan.placements pb plan in

@@ -2,6 +2,7 @@ module I = Sekitei_util.Interval
 module Expr = Sekitei_expr.Expr
 module Topology = Sekitei_network.Topology
 module Model = Sekitei_spec.Model
+module Telemetry = Sekitei_telemetry.Telemetry
 
 type mode = Optimistic | From_init | Regression
 
@@ -453,7 +454,8 @@ let exec_action pb st ~mode (act : Action.t) =
   in
   Float.max 0. (c +. act.Action.cost_extra)
 
-let run ?source_scale pb ~mode tail =
+let run ?(telemetry = Telemetry.null) ?source_scale pb ~mode tail =
+  let sp = Telemetry.begin_span telemetry "replay" in
   let st = init_state ?source_scale pb in
   let cost = ref 0. in
   let result = ref (Ok ()) in
@@ -478,9 +480,19 @@ let run ?source_scale pb ~mode tail =
                 })
   in
   go 0 tail;
-  match !result with
-  | Error f -> Error f
-  | Ok () -> Ok (collect_metrics pb st !cost)
+  let out =
+    match !result with
+    | Error f -> Error f
+    | Ok () -> Ok (collect_metrics pb st !cost)
+  in
+  ignore
+    (Telemetry.end_span telemetry sp
+       ~attrs:
+         [
+           ("actions", Telemetry.Int (List.length tail));
+           ("ok", Telemetry.Bool (Result.is_ok out));
+         ]);
+  out
 
 (* ------------------------------------------------------------------ *)
 (* Incremental replay states                                           *)

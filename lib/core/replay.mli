@@ -58,8 +58,17 @@ type outcome = (metrics, failure) result
 
 (** [run problem ~mode tail] executes the tail (earliest action first).
     [source_scale] (default 1) scales every source's capacity — the hook
-    the post-processing optimizer uses to throttle the supply. *)
-val run : ?source_scale:float -> Problem.t -> mode:mode -> Action.t list -> outcome
+    the post-processing optimizer uses to throttle the supply.
+    [telemetry] wraps the execution in a ["replay"] span carrying the
+    tail length and outcome (the RG search passes its handle through for
+    the final from-init validation). *)
+val run :
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?source_scale:float ->
+  Problem.t ->
+  mode:mode ->
+  Action.t list ->
+  outcome
 
 (** {1 Incremental replay states}
 

@@ -1,5 +1,6 @@
 module Heap = Sekitei_util.Heap
 module Iset = Set.Make (Int)
+module Telemetry = Sekitei_telemetry.Telemetry
 
 type stats = {
   created : int;
@@ -13,7 +14,7 @@ type stats = {
 type result =
   | Solution of Action.t list * Replay.metrics * float
   | Exhausted
-  | Budget_exceeded
+  | Budget_exceeded of { expansions : int; best_f : float }
 
 type node = {
   tail : Action.t list;  (** plan suffix, execution order *)
@@ -108,8 +109,9 @@ let repair_order (pb : Problem.t) tail =
   in
   go (Replay.initial pb) [] tail
 
-let search ?(max_expansions = 500_000) ?(dedup = true) (pb : Problem.t) plrg
-    slrg =
+let search ?(max_expansions = 500_000) ?(dedup = true)
+    ?(telemetry = Telemetry.null) (pb : Problem.t) plrg slrg =
+  let progress_interval = Telemetry.progress_interval telemetry in
   let created = ref 0
   and expanded = ref 0
   and replay_pruned = ref 0
@@ -158,6 +160,14 @@ let search ?(max_expansions = 500_000) ?(dedup = true) (pb : Problem.t) plrg
       rs = Replay.initial pb;
     };
   let finish result =
+    if Telemetry.enabled telemetry then begin
+      Telemetry.count telemetry "rg.created" !created;
+      Telemetry.count telemetry "rg.expanded" !expanded;
+      Telemetry.count telemetry "rg.replay_pruned" !replay_pruned;
+      Telemetry.count telemetry "rg.final_replay_rejected" !final_rejected;
+      Telemetry.count telemetry "rg.duplicates" !duplicates;
+      Telemetry.gauge telemetry "rg.open_left" (float_of_int (Heap.length heap))
+    end;
     ( result,
       {
         created = !created;
@@ -171,18 +181,31 @@ let search ?(max_expansions = 500_000) ?(dedup = true) (pb : Problem.t) plrg
   let rec loop () =
     match Heap.pop heap with
     | None -> finish Exhausted
-    | Some (node, _f) ->
-        if !expanded >= max_expansions then finish Budget_exceeded
+    | Some (node, f) ->
+        if !expanded >= max_expansions then
+          finish (Budget_exceeded { expansions = !expanded; best_f = f })
         else begin
           incr expanded;
+          if progress_interval > 0 && !expanded mod progress_interval = 0 then
+            Telemetry.progress telemetry "rg"
+              [
+                ("expansions", Telemetry.Int !expanded);
+                ("open", Telemetry.Int (Heap.length heap));
+                ("best_f", Telemetry.Float f);
+                ("created", Telemetry.Int !created);
+                ("duplicates", Telemetry.Int !duplicates);
+              ];
           if Array.length node.set = 0 then begin
             (* Candidate solution: validate against the true initial map. *)
-            match Replay.run pb ~mode:Replay.From_init node.tail with
+            match Replay.run ~telemetry pb ~mode:Replay.From_init node.tail with
             | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
             | Error _ -> (
                 (* The order that survived dedup may be infeasible even
                    though a permutation of the same multiset is fine. *)
-                match repair_order pb node.tail with
+                match
+                  Telemetry.with_span telemetry "replay.repair" (fun () ->
+                      repair_order pb node.tail)
+                with
                 | Some (tail', metrics) ->
                     finish (Solution (tail', metrics, node.g))
                 | None ->

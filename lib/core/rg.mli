@@ -39,14 +39,25 @@ type stats = {
 type result =
   | Solution of Action.t list * Replay.metrics * float  (** tail, metrics, cost bound *)
   | Exhausted  (** no resource-feasible plan (the scenario-A verdict) *)
-  | Budget_exceeded
+  | Budget_exceeded of { expansions : int; best_f : float }
+      (** expansion budget hit; [best_f] is the f-value of the best open
+          node at termination — an admissible lower bound on any plan a
+          longer search could still find *)
 
 (** [dedup] (default [true]) toggles the duplicate-detection table —
     exposed so tests can assert that pruning never changes the returned
-    plan cost. *)
+    plan cost.
+
+    [telemetry] emits a periodic ["rg"] progress heartbeat (every
+    {!Sekitei_telemetry.Telemetry.progress_interval} expansions: open-list
+    size, best f, expansions, duplicates), counts search totals
+    ([rg.created], [rg.expanded], [rg.replay_pruned], [rg.duplicates],
+    [rg.final_replay_rejected]), and wraps final candidate validation in
+    ["replay"] / ["replay.repair"] sub-spans. *)
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
   Problem.t ->
   Plrg.t ->
   Slrg.t ->

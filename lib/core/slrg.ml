@@ -1,5 +1,7 @@
 module Heap = Sekitei_util.Heap
 module H = Propset.Tbl
+module Timer = Sekitei_util.Timer
+module Telemetry = Sekitei_telemetry.Telemetry
 
 type t = {
   problem : Problem.t;
@@ -14,9 +16,14 @@ type t = {
       (** admissible lower bounds from budget-exhausted queries; cached so
           repeated RG queries for the same pending set cost nothing *)
   mutable generated : int;
+  telemetry : Telemetry.t;
+  mutable query_ms : float;
+      (** cumulative wall time of non-memoized queries (always tracked —
+          the planner's phase report needs it even without telemetry) *)
 }
 
-let create ?(query_budget = 500) (problem : Problem.t) plrg =
+let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
+    (problem : Problem.t) plrg =
   let supports_rel =
     Array.map
       (fun aids ->
@@ -37,6 +44,8 @@ let create ?(query_budget = 500) (problem : Problem.t) plrg =
     solved = H.create 256;
     bounds = H.create 256;
     generated = 0;
+    telemetry;
+    query_ms = 0.;
   }
 
 let h_max t set =
@@ -69,9 +78,21 @@ let query_set t (root : int array) =
   if Array.length root = 0 then 0.
   else
     match H.find_opt t.solved root with
-    | Some c -> c
-    | None when H.mem t.bounds root -> H.find t.bounds root
+    | Some c ->
+        Telemetry.count t.telemetry "slrg.cache_hit" 1;
+        c
+    | None when H.mem t.bounds root ->
+        Telemetry.count t.telemetry "slrg.cache_hit" 1;
+        H.find t.bounds root
     | None ->
+        let t0 = Timer.start () in
+        let sp =
+          if Telemetry.enabled t.telemetry then
+            Some (Telemetry.begin_span t.telemetry "slrg.query")
+          else None
+        in
+        let expansions = ref 0 in
+        let cost =
         let h_root = h_max t root in
         if not (Float.is_finite h_root) then begin
           H.replace t.solved root Float.infinity;
@@ -84,7 +105,6 @@ let query_set t (root : int array) =
           Heap.add heap ~prio:h_root (root, 0.);
           t.generated <- t.generated + 1;
           let best_complete = ref Float.infinity in
-          let expansions = ref 0 in
           let result = ref None in
           let exact = ref true in
           while !result = None do
@@ -140,6 +160,21 @@ let query_set t (root : int array) =
           else H.replace t.bounds root cost;
           cost
         end
+        in
+        t.query_ms <- t.query_ms +. Timer.elapsed_ms t0;
+        (match sp with
+        | Some sp ->
+            ignore
+              (Telemetry.end_span t.telemetry sp
+                 ~attrs:
+                   [
+                     ("set", Telemetry.Int (Array.length root));
+                     ("expansions", Telemetry.Int !expansions);
+                     ("cost", Telemetry.Float cost);
+                   ])
+        | None -> ());
+        cost
 
 let query t props = query_set t (Propset.canonical t.problem props)
 let nodes_generated t = t.generated
+let query_ms t = t.query_ms

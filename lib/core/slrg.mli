@@ -16,7 +16,15 @@
 
 type t
 
-val create : ?query_budget:int -> Problem.t -> Plrg.t -> t
+(** [telemetry] attaches a ["slrg.query"] sub-span to every non-memoized
+    query (set size, A* expansions, resulting cost) and counts cache hits
+    ([slrg.cache_hit]). *)
+val create :
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?query_budget:int ->
+  Problem.t ->
+  Plrg.t ->
+  t
 
 (** Admissible lower bound on the serial cost of achieving all the given
     propositions from the initial state; [infinity] when impossible. *)
@@ -30,3 +38,8 @@ val query_set : t -> int array -> float
 (** Total number of set nodes generated across all queries so far
     (Table 2, column SLRG). *)
 val nodes_generated : t -> int
+
+(** Cumulative wall time (ms) spent inside non-memoized queries — the
+    SLRG share of the RG search phase in the planner's report.  Tracked
+    whether or not telemetry is enabled. *)
+val query_ms : t -> float

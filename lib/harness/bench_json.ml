@@ -2,12 +2,14 @@
 
    One record per (scenario, level) pair, serialized as a JSON array so
    the perf trajectory of the RG search can be tracked across commits
-   (BENCH_rg.json at the repository root).  No JSON library is available
-   in the build environment, so emission and the schema check are
-   hand-rolled over the fixed, flat schema below. *)
+   (BENCH_rg.json at the repository root).  Serialization goes through
+   the shared {!Sekitei_util.Json} writer over the fixed, flat schema
+   below; the structural check stays hand-rolled so it exercises the
+   emitted text independently of the writer. *)
 
 module Planner = Sekitei_core.Planner
 module Media = Sekitei_domains.Media
+module Json = Sekitei_util.Json
 
 type record = {
   scenario : string;
@@ -16,12 +18,18 @@ type record = {
   rg_expanded : int;
   rg_duplicates : int;
   search_ms : float;
+  compile_ms : float;
+  plrg_ms : float;
+  slrg_ms : float;
+  rg_ms : float;
 }
 
 let measure ?config (sc : Scenarios.t) level =
   let leveling = Media.leveling level sc.Scenarios.app in
-  let o = Planner.solve ?config sc.Scenarios.topo sc.Scenarios.app leveling in
-  let s = o.Planner.stats in
+  let r =
+    Planner.plan (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+  in
+  let s = r.Planner.stats and ph = r.Planner.phases in
   {
     scenario =
       Printf.sprintf "%s-%s" sc.Scenarios.name (Media.scenario_name level);
@@ -30,6 +38,10 @@ let measure ?config (sc : Scenarios.t) level =
     rg_expanded = s.Planner.rg_expanded;
     rg_duplicates = s.Planner.rg_duplicates;
     search_ms = s.Planner.t_search_ms;
+    compile_ms = ph.Planner.compile.Planner.ms;
+    plrg_ms = ph.Planner.plrg.Planner.ms;
+    slrg_ms = ph.Planner.slrg.Planner.ms;
+    rg_ms = ph.Planner.rg.Planner.ms;
   }
 
 let run_default ?config () =
@@ -38,21 +50,32 @@ let run_default ?config () =
     measure ?config (Scenarios.small ()) Media.C;
   ]
 
+(* Timings are rounded to microseconds so records stay diff-friendly. *)
+let ms v = Json.Float (Float.round (v *. 1000.) /. 1000.)
+
 let record_to_json ?tag r =
   let tag_field =
-    match tag with
-    | None -> ""
-    | Some t -> Printf.sprintf "\"tag\": \"%s\", " (String.escaped t)
+    match tag with None -> [] | Some t -> [ ("tag", Json.Str t) ]
   in
-  Printf.sprintf
-    "{%s\"scenario\": \"%s\", \"actions\": %d, \"rg_created\": %d, \
-     \"rg_expanded\": %d, \"rg_duplicates\": %d, \"search_ms\": %.3f}"
-    tag_field (String.escaped r.scenario) r.actions r.rg_created r.rg_expanded
-    r.rg_duplicates r.search_ms
+  Json.Obj
+    (tag_field
+    @ [
+        ("scenario", Json.Str r.scenario);
+        ("actions", Json.Int r.actions);
+        ("rg_created", Json.Int r.rg_created);
+        ("rg_expanded", Json.Int r.rg_expanded);
+        ("rg_duplicates", Json.Int r.rg_duplicates);
+        ("search_ms", ms r.search_ms);
+        ("compile_ms", ms r.compile_ms);
+        ("plrg_ms", ms r.plrg_ms);
+        ("slrg_ms", ms r.slrg_ms);
+        ("rg_ms", ms r.rg_ms);
+      ])
 
 let to_json ?tag records =
   "[\n  "
-  ^ String.concat ",\n  " (List.map (record_to_json ?tag) records)
+  ^ String.concat ",\n  "
+      (List.map (fun r -> Json.to_string (record_to_json ?tag r)) records)
   ^ "\n]\n"
 
 let required_keys =
@@ -63,6 +86,10 @@ let required_keys =
     "\"rg_expanded\"";
     "\"rg_duplicates\"";
     "\"search_ms\"";
+    "\"compile_ms\"";
+    "\"plrg_ms\"";
+    "\"slrg_ms\"";
+    "\"rg_ms\"";
   ]
 
 let contains hay needle =
@@ -71,7 +98,8 @@ let contains hay needle =
   nn > 0 && go 0
 
 (* Minimal structural check of an emitted document: a JSON array of
-   objects, each carrying every schema key.  Returns the record count. *)
+   objects, each carrying every schema key.  Returns the record count.
+   Cross-checked against the real parser by [parse_check]. *)
 let validate doc =
   let doc = String.trim doc in
   let n = String.length doc in
@@ -100,6 +128,41 @@ let validate doc =
             match check i c with Ok () -> go (i + 1) rest | Error e -> Error e)
       in
       go 0 chunks
+
+let parse_check doc =
+  match Json.of_string doc with
+  | Error e -> Error e
+  | Ok (Json.List records) ->
+      let bad_key obj k =
+        match Json.member k obj with
+        | None -> Some k
+        | Some v -> (
+            match (k, v) with
+            | ("scenario" | "tag"), Json.Str _ -> None
+            | ("actions" | "rg_created" | "rg_expanded" | "rg_duplicates"), Json.Int _
+              ->
+                None
+            | ( ("search_ms" | "compile_ms" | "plrg_ms" | "slrg_ms" | "rg_ms"),
+                (Json.Float _ | Json.Int _) ) ->
+                None
+            | _ -> Some k)
+      in
+      let keys =
+        [
+          "scenario"; "actions"; "rg_created"; "rg_expanded"; "rg_duplicates";
+          "search_ms"; "compile_ms"; "plrg_ms"; "slrg_ms"; "rg_ms";
+        ]
+      in
+      let rec go i = function
+        | [] -> Ok (List.length records)
+        | r :: rest -> (
+            match List.find_map (bad_key r) keys with
+            | Some k ->
+                Error (Printf.sprintf "record %d: bad or missing key %s" i k)
+            | None -> go (i + 1) rest)
+      in
+      go 0 records
+  | Ok _ -> Error "not a JSON array"
 
 let write_file path doc =
   let oc = open_out path in

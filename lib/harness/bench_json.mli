@@ -2,8 +2,10 @@
 
     Emits one flat JSON object per (scenario, level) pair —
     [{scenario, actions, rg_created, rg_expanded, rg_duplicates,
-    search_ms}] — collected into a JSON array written to [BENCH_rg.json]
-    so the RG search's perf trajectory is tracked across commits. *)
+    search_ms, compile_ms, plrg_ms, slrg_ms, rg_ms}] — collected into a
+    JSON array written to [BENCH_rg.json] so the planner's perf
+    trajectory (including the per-phase split) is tracked across
+    commits. *)
 
 type record = {
   scenario : string;  (** e.g. ["Small-C"] *)
@@ -11,7 +13,11 @@ type record = {
   rg_created : int;
   rg_expanded : int;
   rg_duplicates : int;
-  search_ms : float;
+  search_ms : float;  (** graph phases total (plrg + slrg create + rg) *)
+  compile_ms : float;  (** {!Sekitei_core.Planner.phases} [compile.ms] *)
+  plrg_ms : float;
+  slrg_ms : float;  (** oracle construction + lazy queries (inside rg) *)
+  rg_ms : float;
 }
 
 (** Solve the scenario at the given level and collect its record. *)
@@ -31,5 +37,9 @@ val to_json : ?tag:string -> record list -> string
 (** Structural schema check of an emitted document; [Ok n] is the record
     count.  Used by the test-suite smoke test. *)
 val validate : string -> (int, string) result
+
+(** Full parse of an emitted document through {!Sekitei_util.Json},
+    checking every schema key's type; [Ok n] is the record count. *)
+val parse_check : string -> (int, string) result
 
 val write_file : string -> string -> unit

@@ -37,10 +37,10 @@ let table1 () =
 let solve_scenario (sc : Scenarios.t) level =
   let leveling = Media.leveling level sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling, pb)
+  (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling), pb)
 
-let describe_outcome pb (outcome : Planner.outcome) =
-  match outcome.Planner.result with
+let describe_outcome pb (report : Planner.report) =
+  match report.Planner.result with
   | Ok p ->
       Printf.sprintf
         "plan with %d actions, cost bound %s (realized %s), LAN peak %s, WAN peak %s:\n%s"
@@ -76,7 +76,7 @@ let fig5 ?(weights = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 3.0; 4.0 ]) () =
       let app = Chain.app ~cross_weight:alpha () in
       let leveling = Chain.leveling app in
       let pb = Compile.compile topo app leveling in
-      let o = Planner.solve topo app leveling in
+      let o = Planner.plan (Planner.request topo app ~leveling) in
       match o.Planner.result with
       | Ok p ->
           let uses_zip =
@@ -146,7 +146,7 @@ let postprocess_ablation () =
      succeeds but wastes bandwidth; post-processing throttles it down. *)
   let rich_topo = Generators.line_kinds [ Topology.Lan ] in
   let app = Sekitei_domains.Media.app ~server:0 ~client:1 () in
-  let greedy = Planner.solve_greedy rich_topo app in
+  let greedy = Planner.plan (Planner.request rich_topo app) in
   (match greedy.Planner.result with
   | Ok p ->
       let pb = Compile.compile rich_topo app Leveling.empty in
@@ -176,10 +176,11 @@ let postprocess_ablation () =
         (fun () -> Format.asprintf "%a" Planner.pp_failure_reason) r);
   (* (b) The paper's Scenario 1: greedy has nothing to post-process. *)
   let sc = Scenarios.tiny () in
-  let greedy = Planner.solve_greedy sc.Scenarios.topo sc.Scenarios.app in
+  let greedy = Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app) in
   let leveled =
-    Planner.solve sc.Scenarios.topo sc.Scenarios.app
-      (Media.leveling Media.C sc.Scenarios.app)
+    Planner.plan
+      (Planner.request sc.Scenarios.topo sc.Scenarios.app
+         ~leveling:(Media.leveling Media.C sc.Scenarios.app))
   in
   pf
     "(b) Scenario 1 (Tiny, 70-unit WAN link): greedy result: %s; leveled \

@@ -13,12 +13,14 @@ type row = {
 
 let run_cell ?config (sc : Scenarios.t) level =
   let leveling = Media.leveling level sc.Scenarios.app in
-  let outcome = Planner.solve ?config sc.Scenarios.topo sc.Scenarios.app leveling in
+  let report =
+    Planner.plan (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+  in
   {
     network = sc.Scenarios.name;
     level_scenario = level;
-    plan = Result.to_option outcome.Planner.result;
-    stats = outcome.Planner.stats;
+    plan = Result.to_option report.Planner.result;
+    stats = report.Planner.stats;
   }
 
 let run ?config ?networks ?(levels = Media.all_scenarios) () =

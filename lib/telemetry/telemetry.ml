@@ -1,0 +1,229 @@
+(* Zero-dependency tracing/metrics for the planner phases.
+
+   The design pivot is the disabled path: [null] carries no sinks, and
+   every emitting operation starts with a single [sinks == []] branch, so
+   threading telemetry through the hot search loops costs one predictable
+   branch per emit when tracing is off.  Span handles still carry a
+   monotonic start time even when disabled, because the planner's phase
+   report is populated from span durations whether or not any sink
+   listens. *)
+
+module Timer = Sekitei_util.Timer
+module Json = Sekitei_util.Json
+
+let src = Logs.Src.create "sekitei.telemetry" ~doc:"Sekitei telemetry events"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type event =
+  | Span_begin of { id : int; parent : int; name : string; t_ms : float }
+  | Span_end of {
+      id : int;
+      name : string;
+      t_ms : float;
+      dur_ms : float;
+      attrs : (string * value) list;
+    }
+  | Counter of { name : string; total : int; t_ms : float }
+  | Gauge of { name : string; value : float; t_ms : float }
+  | Progress of { name : string; t_ms : float; attrs : (string * value) list }
+
+type sink = { emit : event -> unit; close : unit -> unit }
+
+type t = {
+  sinks : sink list;
+  origin : Timer.t;
+  progress_interval : int;
+  mutable next_id : int;
+  mutable open_stack : int list;  (** ids of currently open spans *)
+  counters : (string, int) Hashtbl.t;
+}
+
+type span = { span_id : int; span_name : string; started : Timer.t }
+
+let make sinks progress_interval =
+  {
+    sinks;
+    origin = Timer.start ();
+    progress_interval;
+    next_id = 1;
+    open_stack = [];
+    counters = Hashtbl.create 16;
+  }
+
+let null = make [] 0
+let create ?(progress_every = 1000) sinks = make sinks (max 1 progress_every)
+let enabled t = t.sinks <> []
+let progress_interval t = if enabled t then t.progress_interval else 0
+let elapsed_ms t = Timer.elapsed_ms t.origin
+let emit t ev = List.iter (fun s -> s.emit ev) t.sinks
+
+(* ---------------- spans ---------------- *)
+
+let begin_span t name =
+  let sp = { span_id = 0; span_name = name; started = Timer.start () } in
+  if t.sinks == [] then sp
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let parent = match t.open_stack with [] -> 0 | p :: _ -> p in
+    t.open_stack <- id :: t.open_stack;
+    emit t (Span_begin { id; parent; name; t_ms = elapsed_ms t });
+    { sp with span_id = id }
+  end
+
+let end_span ?(attrs = []) t sp =
+  let dur_ms = Timer.elapsed_ms sp.started in
+  if t.sinks != [] then begin
+    (* Pop through to this span's id: tolerates a child span leaked by an
+       exception so the tree stays consistent for sinks. *)
+    let rec pop = function
+      | [] -> []
+      | id :: rest -> if id = sp.span_id then rest else pop rest
+    in
+    t.open_stack <- pop t.open_stack;
+    emit t
+      (Span_end
+         { id = sp.span_id; name = sp.span_name; t_ms = elapsed_ms t; dur_ms; attrs })
+  end;
+  dur_ms
+
+let with_span ?attrs t name f =
+  let sp = begin_span t name in
+  Fun.protect
+    ~finally:(fun () -> ignore (end_span ?attrs t sp))
+    f
+
+let with_span_timed ?attrs t name f =
+  let sp = begin_span t name in
+  match f () with
+  | v -> (v, end_span ?attrs t sp)
+  | exception e ->
+      ignore (end_span ?attrs t sp);
+      raise e
+
+(* ---------------- counters / gauges / progress ---------------- *)
+
+let count t name n =
+  if t.sinks != [] then
+    let cur = try Hashtbl.find t.counters name with Not_found -> 0 in
+    Hashtbl.replace t.counters name (cur + n)
+
+let counter_total t name =
+  try Hashtbl.find t.counters name with Not_found -> 0
+
+let flush_counters t =
+  if t.sinks != [] then begin
+    let t_ms = elapsed_ms t in
+    Hashtbl.fold (fun name total acc -> (name, total) :: acc) t.counters []
+    |> List.sort compare
+    |> List.iter (fun (name, total) -> emit t (Counter { name; total; t_ms }))
+  end
+
+let gauge t name value =
+  if t.sinks != [] then emit t (Gauge { name; value; t_ms = elapsed_ms t })
+
+let progress t name attrs =
+  if t.sinks != [] then emit t (Progress { name; t_ms = elapsed_ms t; attrs })
+
+let close t =
+  flush_counters t;
+  List.iter (fun s -> s.close ()) t.sinks
+
+(* ---------------- sinks ---------------- *)
+
+let sink ?(close = fun () -> ()) emit = { emit; close }
+
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let pp_value fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.pp_print_string fmt s
+
+let pp_attrs fmt attrs =
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) attrs
+
+let event_line ev =
+  match ev with
+  | Span_begin { name; t_ms; _ } -> Format.asprintf "[%8.2fms] > %s" t_ms name
+  | Span_end { name; t_ms; dur_ms; attrs; _ } ->
+      Format.asprintf "[%8.2fms] < %s (%.2fms)%a" t_ms name dur_ms pp_attrs
+        attrs
+  | Counter { name; total; t_ms } ->
+      Format.asprintf "[%8.2fms] # %s = %d" t_ms name total
+  | Gauge { name; value; t_ms } ->
+      Format.asprintf "[%8.2fms] # %s = %g" t_ms name value
+  | Progress { name; t_ms; attrs } ->
+      Format.asprintf "[%8.2fms] . %s%a" t_ms name pp_attrs attrs
+
+let logs_sink () =
+  {
+    emit = (fun ev -> Log.info (fun m -> m "%s" (event_line ev)));
+    close = (fun () -> ());
+  }
+
+let json_of_value = function
+  | Bool b -> Json.Bool b
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let json_of_event ev =
+  let attr_fields attrs = List.map (fun (k, v) -> (k, json_of_value v)) attrs in
+  let obj = function
+    | Span_begin { id; parent; name; t_ms } ->
+        [
+          ("ev", Json.Str "span_begin");
+          ("id", Json.Int id);
+          ("parent", Json.Int parent);
+          ("name", Json.Str name);
+          ("t_ms", Json.Float t_ms);
+        ]
+    | Span_end { id; name; t_ms; dur_ms; attrs } ->
+        [
+          ("ev", Json.Str "span_end");
+          ("id", Json.Int id);
+          ("name", Json.Str name);
+          ("t_ms", Json.Float t_ms);
+          ("dur_ms", Json.Float dur_ms);
+        ]
+        @ attr_fields attrs
+    | Counter { name; total; t_ms } ->
+        [
+          ("ev", Json.Str "counter");
+          ("name", Json.Str name);
+          ("total", Json.Int total);
+          ("t_ms", Json.Float t_ms);
+        ]
+    | Gauge { name; value; t_ms } ->
+        [
+          ("ev", Json.Str "gauge");
+          ("name", Json.Str name);
+          ("value", Json.Float value);
+          ("t_ms", Json.Float t_ms);
+        ]
+    | Progress { name; t_ms; attrs } ->
+        [
+          ("ev", Json.Str "progress");
+          ("name", Json.Str name);
+          ("t_ms", Json.Float t_ms);
+        ]
+        @ attr_fields attrs
+  in
+  Json.Obj (obj ev)
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Json.to_string (json_of_event ev));
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }

@@ -1,0 +1,113 @@
+(** Tracing and metrics for the planner phases.
+
+    A {!t} is a handle threaded through {!Sekitei_core}'s phases
+    ([compile], [plrg], [slrg], [rg], [replay]).  The phases wrap their
+    work in {e spans} (well-nested, monotonically timestamped via
+    {!Sekitei_util.Timer}), bump named {e counters}, record {e gauges},
+    and emit periodic search {e progress} events; everything is delivered
+    to pluggable {e sinks}.
+
+    The default handle is {!null}: no sinks.  Every emitting operation
+    begins with a single empty-sinks branch, so instrumented hot loops
+    pay one branch per emit when tracing is off.  Span handles carry real
+    monotonic start times even under {!null} — {!end_span} always returns
+    the true duration — because {!Sekitei_core.Planner}'s per-phase
+    report is populated from spans whether or not a sink listens.
+
+    Counters are aggregated in the handle (no per-increment events) and
+    emitted as [Counter] totals by {!flush_counters} / {!close}. *)
+
+type value = Bool of bool | Int of int | Float of float | Str of string
+
+type event =
+  | Span_begin of { id : int; parent : int; name : string; t_ms : float }
+      (** [parent] is 0 for root spans; ids start at 1. *)
+  | Span_end of {
+      id : int;
+      name : string;
+      t_ms : float;
+      dur_ms : float;
+      attrs : (string * value) list;
+    }
+  | Counter of { name : string; total : int; t_ms : float }
+      (** cumulative total at flush time *)
+  | Gauge of { name : string; value : float; t_ms : float }
+  | Progress of { name : string; t_ms : float; attrs : (string * value) list }
+      (** periodic search heartbeat (open-list size, best f, ...) *)
+
+type sink = { emit : event -> unit; close : unit -> unit }
+type t
+
+(** The default: no sinks, near-zero overhead. *)
+val null : t
+
+(** [create sinks] starts the monotonic origin clock now.
+    [progress_every] (default 1000) is the expansion interval the RG
+    search uses between {!progress} heartbeats. *)
+val create : ?progress_every:int -> sink list -> t
+
+val enabled : t -> bool
+
+(** The configured heartbeat interval; 0 when disabled (callers skip the
+    modulo entirely). *)
+val progress_interval : t -> int
+
+(** Milliseconds since {!create} (event timestamps use this origin). *)
+val elapsed_ms : t -> float
+
+(** {1 Spans} *)
+
+type span
+
+(** Opens a span nested under the innermost open span. *)
+val begin_span : t -> string -> span
+
+(** Closes the span and returns its duration in ms (also meaningful under
+    {!null}).  [attrs] land on the [Span_end] event. *)
+val end_span : ?attrs:(string * value) list -> t -> span -> float
+
+(** [with_span t name f] runs [f] inside a span; the span is closed even
+    when [f] raises. *)
+val with_span : ?attrs:(string * value) list -> t -> string -> (unit -> 'a) -> 'a
+
+(** Like {!with_span} but also returns the duration in ms. *)
+val with_span_timed :
+  ?attrs:(string * value) list -> t -> string -> (unit -> 'a) -> 'a * float
+
+(** {1 Counters, gauges, progress} *)
+
+(** [count t name n] adds [n] to the named counter (aggregated; emitted
+    by {!flush_counters}). *)
+val count : t -> string -> int -> unit
+
+(** Current aggregate (0 for unknown names or under {!null}). *)
+val counter_total : t -> string -> int
+
+(** Emit every counter's total as a [Counter] event (sorted by name). *)
+val flush_counters : t -> unit
+
+val gauge : t -> string -> float -> unit
+val progress : t -> string -> (string * value) list -> unit
+
+(** {!flush_counters}, then close every sink. *)
+val close : t -> unit
+
+(** {1 Sinks} *)
+
+(** Custom sink from an event callback. *)
+val sink : ?close:(unit -> unit) -> (event -> unit) -> sink
+
+(** In-memory sink for tests and reports: returns the sink and a function
+    yielding the events captured so far, in emission order. *)
+val memory : unit -> sink * (unit -> event list)
+
+(** Renders events through the [logs] library (source
+    ["sekitei.telemetry"], level [Info]). *)
+val logs_sink : unit -> sink
+
+(** One compact JSON object per event, one per line (JSONL).  [close]
+    flushes but does not close the channel. *)
+val jsonl : out_channel -> sink
+
+(** The JSONL encoding, exposed for the trace-report tool and tests. *)
+val json_of_event : event -> Sekitei_util.Json.t

@@ -1,7 +1,13 @@
+external monotonic_s : unit -> float = "sekitei_monotonic_s"
+
 type t = float
 
-let start () = Unix.gettimeofday ()
-let elapsed_s t = Unix.gettimeofday () -. t
+let now_s = monotonic_s
+let start () = monotonic_s ()
+
+(* Monotonic clocks never run backwards, but clamp anyway so a platform
+   quirk can never surface a negative duration in stats or telemetry. *)
+let elapsed_s t = Float.max 0. (monotonic_s () -. t)
 let elapsed_ms t = 1000. *. elapsed_s t
 
 let time f =

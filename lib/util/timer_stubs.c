@@ -1,0 +1,16 @@
+/* Monotonic clock for planner-phase timing.
+
+   Unix.gettimeofday is wall-clock time and can jump backwards under NTP
+   adjustment; CLOCK_MONOTONIC never does.  Returned as seconds in a
+   double: at 10^7 s of uptime a double still resolves ~1 ns. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sekitei_monotonic_s(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

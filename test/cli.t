@@ -34,3 +34,12 @@ Table 1 prints the level scenarios:
 
   $ sekitei table1 | grep "| C"
   | C        | [0,90), [90,100), [100,inf)                   | [0,inf)                   |
+
+Tracing writes a JSONL span tree covering every planner phase:
+
+  $ sekitei plan --network tiny --levels C --trace trace.jsonl > /dev/null
+  $ for ev in plan compile leveling plrg slrg rg replay; do
+  >   grep -q "\"ev\": \"span_begin\".*\"name\": \"$ev\"" trace.jsonl || echo "missing $ev"
+  > done
+  $ grep -c '"ev": "counter"' trace.jsonl > /dev/null && echo counters present
+  counters present

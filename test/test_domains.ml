@@ -46,7 +46,7 @@ let test_media_custom_supply_demand () =
   let leveling =
     Leveling.propagate app (Leveling.with_iface Leveling.empty "M" "ibw" [ 60.; 70. ])
   in
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok p -> Alcotest.(check int) "direct" 2 (Plan.length p)
   | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
 
@@ -57,7 +57,7 @@ let chain_uses_zip alpha =
   let app = Chain.app ~cross_weight:alpha () in
   let leveling = Chain.leveling app in
   let pb = Compile.compile topo app leveling in
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok p ->
       Some
         (List.exists (fun (n, _) -> String.equal n "Zip") (Plan.placements pb p))
@@ -97,7 +97,7 @@ let gridflow_solve ?deadline () =
   in
   let app = Gridflow.app ?deadline ~storage:0 ~consumer:3 () in
   let leveling = Gridflow.leveling app in
-  ((Planner.solve topo app leveling).Planner.result, Compile.compile topo app leveling)
+  ((Planner.plan (Planner.request topo app ~leveling)).Planner.result, Compile.compile topo app leveling)
 
 let test_gridflow_plans () =
   match gridflow_solve () with
@@ -138,7 +138,7 @@ let test_gridflow_narrow_everywhere () =
   let topo = Gridflow.topology ~link_lats:[ 1.; 1. ] ~bws:[ 15.; 15. ] in
   let app = Gridflow.app ~storage:0 ~consumer:2 () in
   let leveling = Gridflow.leveling app in
-  match (Planner.solve topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok _ -> Alcotest.fail "cannot deliver 20 units of R through 15-unit links"
   | Error _ -> ()
 

@@ -134,8 +134,8 @@ let test_roundtrip_media () =
   let topo2 = Option.get doc.Dsl.topo in
   Alcotest.(check int) "nodes" (T.node_count topo) (T.node_count topo2);
   (* and it still plans identically *)
-  let o1 = Sekitei_core.Planner.solve topo app leveling in
-  let o2 = Sekitei_core.Planner.solve topo2 doc.Dsl.app doc.Dsl.leveling in
+  let o1 = Sekitei_core.Planner.plan (Sekitei_core.Planner.request topo app ~leveling) in
+  let o2 = Sekitei_core.Planner.plan (Sekitei_core.Planner.request topo2 doc.Dsl.app ~leveling:doc.Dsl.leveling) in
   match (o1.Sekitei_core.Planner.result, o2.Sekitei_core.Planner.result) with
   | Ok p1, Ok p2 ->
       Alcotest.(check (float 1e-9)) "same cost bound"

@@ -20,11 +20,11 @@ let contains hay needle = Sekitei_spec.Str_split.split_once hay needle <> None
 let test_adjust_changes_bound () =
   let sc = Scenarios.tiny () in
   let leveling = Media.leveling Media.C sc.Scenarios.app in
-  let base = Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling in
+  let base = Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling) in
   let adjusted =
-    Planner.solve
+    Planner.plan
       ~adjust:(fun ~comp ~node:_ -> if comp = "Zip" then 10. else 0.)
-      sc.Scenarios.topo sc.Scenarios.app leveling
+      (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)
   in
   match (base.Planner.result, adjusted.Planner.result) with
   | Ok b, Ok a ->
@@ -38,8 +38,9 @@ let test_adjust_never_negative () =
   let sc = Scenarios.tiny () in
   let leveling = Media.leveling Media.C sc.Scenarios.app in
   let o =
-    Planner.solve ~adjust:(fun ~comp:_ ~node:_ -> -1e9) sc.Scenarios.topo
-      sc.Scenarios.app leveling
+    Planner.plan
+      ~adjust:(fun ~comp:_ ~node:_ -> -1e9)
+      (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)
   in
   match o.Planner.result with
   | Ok p -> Alcotest.(check bool) "bound >= 0" true (p.Plan.cost_lb >= 0.)
@@ -51,7 +52,7 @@ let small_deployment () =
   let sc = Scenarios.small () in
   let leveling = Media.leveling Media.D sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p -> (sc, leveling, pb, p)
   | Error r -> Alcotest.failf "initial plan failed: %a" Planner.pp_failure_reason r
 
@@ -136,7 +137,7 @@ let ws_solve secure =
   let app = Webservice.app ~backend:0 ~consumer:(List.length secure) () in
   let leveling = Webservice.leveling app in
   let pb = Compile.compile topo app leveling in
-  ((Planner.solve topo app leveling).Planner.result, pb)
+  ((Planner.plan (Planner.request topo app ~leveling)).Planner.result, pb)
 
 let test_ws_secure_path_direct () =
   match ws_solve [ 1; 1; 1 ] with
@@ -185,7 +186,7 @@ let test_deployment_dot () =
   let sc = Scenarios.tiny () in
   let leveling = Media.leveling Media.C sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p ->
       let dot = Deployment_dot.render pb p in
       List.iter

@@ -63,8 +63,11 @@ let test_large_deterministic () =
 let test_with_weights () =
   let sc = Scenarios.with_weights ~cross_weight:2. ~place_weight:0.5 (Scenarios.tiny ()) in
   (* heavier crossings roughly double the plan bound's crossing part *)
-  let o = Planner.solve sc.Scenarios.topo sc.Scenarios.app
-      (Media.leveling Media.C sc.Scenarios.app) in
+  let o =
+    Planner.plan
+      (Planner.request sc.Scenarios.topo sc.Scenarios.app
+         ~leveling:(Media.leveling Media.C sc.Scenarios.app))
+  in
   match o.Planner.result with
   | Ok p -> Alcotest.(check bool) "bound changed" true (p.Plan.cost_lb <> 52.45)
   | Error _ -> Alcotest.fail "should still plan"

@@ -21,7 +21,7 @@ let test_audit_scenario_e () =
   let sc = Scenarios.small () in
   let leveling = Media.leveling Media.E sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
   | Ok p -> (
       match Audit.of_plan pb p with
@@ -46,8 +46,8 @@ let test_webservice_dsl_roundtrip () =
   let doc = Dsl.parse_document text in
   let topo2 = Option.get doc.Dsl.topo in
   match
-    ( (Planner.solve topo app leveling).Planner.result,
-      (Planner.solve topo2 doc.Dsl.app doc.Dsl.leveling).Planner.result )
+    ( (Planner.plan (Planner.request topo app ~leveling)).Planner.result,
+      (Planner.plan (Planner.request topo2 doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result )
   with
   | Ok p1, Ok p2 ->
       Alcotest.(check int) "same length" (Plan.length p1) (Plan.length p2);
@@ -67,7 +67,7 @@ let test_gridflow_dsl_roundtrip () =
   let topo2 = Option.get doc.Dsl.topo in
   Alcotest.(check (float 0.)) "link lat preserved" 5.
     (Sekitei_network.Topology.link_resource topo2 0 "lat");
-  match (Planner.solve topo2 doc.Dsl.app doc.Dsl.leveling).Planner.result with
+  match (Planner.plan (Planner.request topo2 doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result with
   | Ok _ -> ()
   | Error r -> Alcotest.failf "reparsed gridflow: %a" Planner.pp_failure_reason r
 
@@ -82,7 +82,7 @@ let test_spec_file_on_disk () =
     let topo = Option.get doc.Dsl.topo in
     Alcotest.(check int) "issues" 0
       (List.length (Sekitei_spec.Validate.check topo doc.Dsl.app));
-    match (Planner.solve topo doc.Dsl.app doc.Dsl.leveling).Planner.result with
+    match (Planner.plan (Planner.request topo doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result with
     | Ok p -> Alcotest.(check int) "4 actions" 4 (Plan.length p)
     | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
   end
@@ -98,7 +98,7 @@ let test_goal_and_available_mix () =
     }
   in
   let leveling = Media.leveling Media.C app in
-  match (Planner.solve sc.Scenarios.topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo app ~leveling)).Planner.result with
   | Ok p ->
       (* the sink adds one zero-cost placement *)
       Alcotest.(check int) "8 actions" 8 (Plan.length p)
@@ -110,7 +110,7 @@ let test_available_goal_too_high () =
     { sc.Scenarios.app with Model.goals = [ Model.Available ("M", "ibw", 1, 150.) ] }
   in
   let leveling = Media.leveling Media.C app in
-  match (Planner.solve sc.Scenarios.topo app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo app ~leveling)).Planner.result with
   | Ok _ -> Alcotest.fail "cannot deliver 150 over a 70-unit link"
   | Error _ -> ()
 

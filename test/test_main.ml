@@ -20,6 +20,7 @@ let () =
       ("harness", Test_harness.suite);
       ("core.planner.advanced", Test_planner_advanced.suite);
       ("extensions", Test_extensions.suite);
+      ("telemetry", Test_telemetry.suite);
       ("tools", Test_tools.suite);
       ("integration", Test_integration_extra.suite);
       ("properties", Test_qcheck.suite);

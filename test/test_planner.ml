@@ -16,16 +16,16 @@ module T = Sekitei_network.Topology
 
 let solve (sc : Scenarios.t) level =
   let leveling = Media.leveling level sc.Scenarios.app in
-  ( Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling,
+  ( Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling),
     Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling )
 
-let expect_plan what (outcome : Planner.outcome) =
-  match outcome.Planner.result with
+let expect_plan what (report : Planner.report) =
+  match report.Planner.result with
   | Ok p -> p
   | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
 
-let expect_failure what (outcome : Planner.outcome) =
-  match outcome.Planner.result with
+let expect_failure what (report : Planner.report) =
+  match report.Planner.result with
   | Ok _ -> Alcotest.failf "%s: unexpected plan" what
   | Error r -> r
 
@@ -115,7 +115,7 @@ let test_small_optimal_cheaper_than_shortest () =
 
 let test_small_greedy_fails () =
   let sc = Scenarios.small () in
-  let o = Planner.solve_greedy sc.Scenarios.topo sc.Scenarios.app in
+  let o = Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app) in
   match expect_failure "small greedy" o with
   | Planner.Resource_exhausted -> ()
   | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
@@ -197,7 +197,7 @@ let test_optimality_exhaustive_micro () =
     Leveling.with_iface Leveling.empty "S" "ibw" [ 10.; 15.; 20. ]
   in
   let pb = Compile.compile topo app leveling in
-  let o = Planner.solve topo app leveling in
+  let o = Planner.plan (Planner.request topo app ~leveling) in
   let best =
     match o.Planner.result with
     | Ok p -> p
@@ -229,15 +229,15 @@ let test_optimality_exhaustive_micro () =
 let test_unreachable_goal () =
   let app = Media.app ~server:0 ~client:1 () in
   let topo = T.make ~nodes:[ T.node 0 "n0"; T.node 1 "n1" ] ~links:[] in
-  let o = Planner.solve topo app (Media.leveling Media.C app) in
+  let o = Planner.plan (Planner.request topo app ~leveling:(Media.leveling Media.C app)) in
   match expect_failure "partitioned" o with
-  | Planner.Unreachable_goal -> ()
+  | Planner.Unreachable_goal _ -> ()
   | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
 
 let test_invalid_spec_reported () =
   let app = Media.app ~server:0 ~client:1 () in
   let bad = { app with Model.goals = [] } in
-  let o = Planner.solve (G.line_kinds [ T.Wan ]) bad Leveling.empty in
+  let o = Planner.plan (Planner.request (G.line_kinds [ T.Wan ]) bad) in
   match expect_failure "invalid" o with
   | Planner.Invalid_spec _ -> ()
   | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
@@ -248,11 +248,12 @@ let test_search_budget () =
     { Planner.default_config with Planner.rg_max_expansions = 1 }
   in
   let o =
-    Planner.solve ~config sc.Scenarios.topo sc.Scenarios.app
-      (Media.leveling Media.C sc.Scenarios.app)
+    Planner.plan
+      (Planner.request ~config sc.Scenarios.topo sc.Scenarios.app
+         ~leveling:(Media.leveling Media.C sc.Scenarios.app))
   in
   match expect_failure "budget" o with
-  | Planner.Search_limit -> ()
+  | Planner.Search_limit _ -> ()
   | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
 
 let test_insufficient_cpu_everywhere () =
@@ -263,11 +264,11 @@ let test_insufficient_cpu_everywhere () =
       ~links:[ T.link T.Wan 0 0 1 ]
   in
   let app = Media.app ~server:0 ~client:1 () in
-  let o = Planner.solve topo app (Media.leveling Media.D app) in
+  let o = Planner.plan (Planner.request topo app ~leveling:(Media.leveling Media.D app)) in
   (* Compile-time pruning of CPU-infeasible placements can make the goal
      logically unreachable; either failure reason is correct. *)
   match expect_failure "no cpu" o with
-  | Planner.Resource_exhausted | Planner.Unreachable_goal -> ()
+  | Planner.Resource_exhausted | Planner.Unreachable_goal _ -> ()
   | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
 
 let test_direct_when_wide_enough () =
@@ -275,7 +276,7 @@ let test_direct_when_wide_enough () =
      prefer it over any splitting contraption. *)
   let topo = G.line_kinds [ T.Lan ] in
   let app = Media.app ~server:0 ~client:1 () in
-  let o = Planner.solve topo app (Media.leveling Media.C app) in
+  let o = Planner.plan (Planner.request topo app ~leveling:(Media.leveling Media.C app)) in
   let p = expect_plan "direct" o in
   Alcotest.(check int) "cross + client" 2 (Plan.length p)
 
@@ -292,7 +293,7 @@ let test_stats_populated () =
 let test_postprocess_minimizes () =
   let topo = G.line_kinds [ T.Lan ] in
   let app = Media.app ~server:0 ~client:1 () in
-  let o = Planner.solve_greedy topo app in
+  let o = Planner.plan (Planner.request topo app) in
   let pb = Compile.compile topo app Leveling.empty in
   let p = expect_plan "greedy rich" o in
   match Postprocess.minimize pb p with

@@ -13,8 +13,8 @@ module E = Sekitei_expr.Expr
 module G = Sekitei_network.Generators
 module T = Sekitei_network.Topology
 
-let expect_plan what (outcome : Planner.outcome) =
-  match outcome.Planner.result with
+let expect_plan what (report : Planner.report) =
+  match report.Planner.result with
   | Ok p -> p
   | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
 
@@ -41,7 +41,7 @@ let test_two_clients_star () =
   let topo = G.star 2 in
   let app = two_client_app ~server:0 ~client1:1 ~client2:2 in
   let leveling = Media.leveling Media.C app in
-  let p = expect_plan "two clients" (Planner.solve topo app leveling) in
+  let p = expect_plan "two clients" (Planner.plan (Planner.request topo app ~leveling)) in
   let pb = Compile.compile topo app leveling in
   let placements = Plan.placements pb p in
   Alcotest.(check (option int)) "client1 at 1" (Some 1)
@@ -64,7 +64,7 @@ let test_two_clients_shared_bottleneck () =
   in
   let app = two_client_app ~server:0 ~client1:2 ~client2:3 in
   let leveling = Media.leveling Media.C app in
-  let p = expect_plan "shared bottleneck" (Planner.solve topo app leveling) in
+  let p = expect_plan "shared bottleneck" (Planner.plan (Planner.request topo app ~leveling)) in
   (* Whatever shape it found must replay and deliver both demands. *)
   let pb = Compile.compile topo app leveling in
   match Replay.run pb ~mode:Replay.From_init p.Plan.steps with
@@ -95,7 +95,7 @@ let test_two_servers_nearest_wins () =
     { app with Model.pre_placed = [ ("Server", 0); ("Server", 4) ] }
   in
   let leveling = Media.leveling Media.C app in
-  let p = expect_plan "two servers" (Planner.solve topo app leveling) in
+  let p = expect_plan "two servers" (Planner.plan (Planner.request topo app ~leveling)) in
   let pb = Compile.compile topo app leveling in
   Alcotest.(check int) "one crossing + client" 2 (Plan.length p);
   match Plan.crossings pb p with
@@ -139,7 +139,7 @@ let test_upgradable_property () =
   in
   let topo = G.line 2 in
   let leveling = Leveling.with_iface Leveling.empty "Q" "qual" [ 5. ] in
-  let p = expect_plan "upgradable" (Planner.solve topo app leveling) in
+  let p = expect_plan "upgradable" (Planner.plan (Planner.request topo app ~leveling)) in
   Alcotest.(check int) "cross + place" 2 (Plan.length p)
 
 let test_neither_tag_exact () =
@@ -171,10 +171,10 @@ let test_neither_tag_exact () =
   in
   let topo = G.line 2 in
   let leveling = Leveling.with_iface Leveling.empty "X" "v" [ 40.; 60. ] in
-  (match (Planner.solve topo (app "X.v >= 45") leveling).Planner.result with
+  (match (Planner.plan (Planner.request topo (app "X.v >= 45") ~leveling)).Planner.result with
   | Ok _ -> ()
   | Error r -> Alcotest.failf "50 satisfies >=45: %a" Planner.pp_failure_reason r);
-  match (Planner.solve topo (app "X.v >= 60") leveling).Planner.result with
+  match (Planner.plan (Planner.request topo (app "X.v >= 60") ~leveling)).Planner.result with
   | Ok _ -> Alcotest.fail "a fixed 50 cannot satisfy >= 60"
   | Error _ -> ()
 
@@ -185,8 +185,9 @@ let test_planner_deterministic () =
     let sc = Sekitei_harness.Scenarios.small () in
     let leveling = Media.leveling Media.C sc.Sekitei_harness.Scenarios.app in
     let o =
-      Planner.solve sc.Sekitei_harness.Scenarios.topo
-        sc.Sekitei_harness.Scenarios.app leveling
+      Planner.plan
+        (Planner.request sc.Sekitei_harness.Scenarios.topo
+           sc.Sekitei_harness.Scenarios.app ~leveling)
     in
     match o.Planner.result with
     | Ok p -> (Plan.labels p, p.Plan.cost_lb, o.Planner.stats.Planner.rg_created)
@@ -209,8 +210,9 @@ let test_plan_rendering () =
   in
   let p =
     expect_plan "tiny"
-      (Planner.solve sc.Sekitei_harness.Scenarios.topo
-         sc.Sekitei_harness.Scenarios.app leveling)
+      (Planner.plan
+         (Planner.request sc.Sekitei_harness.Scenarios.topo
+            sc.Sekitei_harness.Scenarios.app ~leveling))
   in
   let text = Plan.to_string pb p in
   Alcotest.(check bool) "paper phrasing" true

@@ -222,7 +222,7 @@ let prop_planner_sound =
              [ demand; demand +. 10.; 150. ])
       in
       let pb = Compile.compile topo app leveling in
-      match (Planner.solve ~config topo app leveling).Planner.result with
+      match (Planner.plan (Planner.request ~config topo app ~leveling)).Planner.result with
       | Error _ -> true (* infeasibility is an acceptable outcome *)
       | Ok p -> (
           match Replay.run pb ~mode:Replay.From_init p.Plan.steps with
@@ -238,6 +238,53 @@ let prop_planner_sound =
               | Some v -> v >= demand -. 1e-6
               | None -> false)
               && p.Plan.cost_lb <= m.Replay.realized_cost +. 1e-6))
+
+(* ---------------- telemetry is observation-only ---------------- *)
+
+(* Running the planner with a memory-sink telemetry handle must return
+   exactly the same plan, cost and search statistics as the null handle:
+   tracing observes the search, it never steers it. *)
+let prop_telemetry_transparent =
+  let config =
+    { Planner.default_config with Planner.rg_max_expansions = 5_000 }
+  in
+  Q.Test.make ~count:15 ~name:"telemetry never changes the outcome"
+    (Q.quad (Q.float_range 20. 160.) (Q.float_range 20. 160.)
+       (Q.float_range 5. 60.) (Q.float_range 30. 110.))
+    (fun (bw1, bw2, cpu, demand) ->
+      let topo =
+        T.make
+          ~nodes:(List.init 3 (fun i -> T.node ~cpu i (Printf.sprintf "n%d" i)))
+          ~links:[ T.link ~bw:bw1 T.Lan 0 0 1; T.link ~bw:bw2 T.Wan 1 1 2 ]
+      in
+      let app = Media.app ~demand ~server:0 ~client:2 () in
+      let leveling =
+        Leveling.propagate app
+          (Leveling.with_iface Leveling.empty "M" "ibw"
+             [ demand; demand +. 10.; 150. ])
+      in
+      let quiet = Planner.plan (Planner.request ~config topo app ~leveling) in
+      let sink, events = Sekitei_telemetry.Telemetry.memory () in
+      let telemetry = Sekitei_telemetry.Telemetry.create [ sink ] in
+      let traced =
+        Planner.plan (Planner.request ~config ~telemetry topo app ~leveling)
+      in
+      Sekitei_telemetry.Telemetry.close telemetry;
+      let same_result =
+        match (quiet.Planner.result, traced.Planner.result) with
+        | Ok p1, Ok p2 ->
+            Plan.labels p1 = Plan.labels p2
+            && Float.abs (p1.Plan.cost_lb -. p2.Plan.cost_lb) < 1e-9
+        | Error r1, Error r2 -> r1 = r2
+        | _ -> false
+      in
+      let s1 = quiet.Planner.stats and s2 = traced.Planner.stats in
+      same_result
+      && s1.Planner.rg_created = s2.Planner.rg_created
+      && s1.Planner.rg_expanded = s2.Planner.rg_expanded
+      && s1.Planner.rg_duplicates = s2.Planner.rg_duplicates
+      && s1.Planner.slrg_nodes = s2.Planner.slrg_nodes
+      && events () <> [])
 
 (* ---------------- leveling propagation property ---------------- *)
 
@@ -279,5 +326,6 @@ let suite =
       prop_prng_bounds;
       prop_transit_stub_connected;
       prop_planner_sound;
+      prop_telemetry_transparent;
       prop_propagation_wellformed;
     ]

@@ -133,7 +133,7 @@ let search_cost ~dedup pb =
   let slrg = Slrg.create pb plrg in
   match Rg.search ~dedup pb plrg slrg with
   | Rg.Solution (_, _, cost), _ -> Some cost
-  | (Rg.Exhausted | Rg.Budget_exceeded), _ -> None
+  | (Rg.Exhausted | Rg.Budget_exceeded _), _ -> None
 
 let check_dedup_neutral name pb expected =
   let with_dedup = search_cost ~dedup:true pb in
@@ -174,10 +174,21 @@ let test_bench_json_schema () =
   (match Bench_json.validate doc with
   | Ok n -> Alcotest.(check int) "one record" 1 n
   | Error e -> Alcotest.failf "schema: %s" e);
+  Alcotest.(check bool) "phase timings cover the search" true
+    (r.Bench_json.plrg_ms >= 0.
+    && r.Bench_json.slrg_ms >= 0.
+    && r.Bench_json.rg_ms >= 0.
+    && r.Bench_json.compile_ms >= 0.);
   let tagged = Bench_json.to_json ~tag:"test" [ r; r ] in
   (match Bench_json.validate tagged with
   | Ok n -> Alcotest.(check int) "two records" 2 n
   | Error e -> Alcotest.failf "schema (tagged): %s" e);
+  (match Bench_json.parse_check tagged with
+  | Ok n -> Alcotest.(check int) "parses as two records" 2 n
+  | Error e -> Alcotest.failf "parse_check: %s" e);
+  (match Bench_json.parse_check "[{\"scenario\": \"x\"}]" with
+  | Ok _ -> Alcotest.fail "incomplete record accepted"
+  | Error _ -> ());
   match Bench_json.validate "{\"not\": \"an array\"}" with
   | Ok _ -> Alcotest.fail "garbage accepted"
   | Error _ -> ()

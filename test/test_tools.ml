@@ -60,7 +60,7 @@ let test_mutation_replans () =
   let sc = Scenarios.tiny () in
   let leveling = Media.leveling Media.C sc.Scenarios.app in
   let degraded = Mutate.set_link_resource sc.Scenarios.topo 0 "lbw" 50. in
-  match (Planner.solve degraded sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request degraded sc.Scenarios.app ~leveling)).Planner.result with
   | Ok _ -> Alcotest.fail "Z+I = 65 cannot fit 50"
   | Error _ -> ()
 
@@ -70,7 +70,7 @@ let audit_small () =
   let sc = Scenarios.small () in
   let leveling = Media.leveling Media.C sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
-  match (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveling).Planner.result with
+  match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p -> (pb, p)
   | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
 
@@ -126,7 +126,7 @@ let test_suggest_plans_optimally () =
   List.iter
     (fun (sc : Scenarios.t) ->
       let l = Leveling.suggest sc.Scenarios.app in
-      match (Planner.solve sc.Scenarios.topo sc.Scenarios.app l).Planner.result with
+      match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling:l)).Planner.result with
       | Ok p ->
           if sc.Scenarios.name = "Small" then begin
             Alcotest.(check int) "13 actions" 13 (Plan.length p);
@@ -145,8 +145,8 @@ let test_suggest_beats_fixed_band () =
   let l = Leveling.suggest sc.Scenarios.app in
   let c = Media.leveling Media.C sc.Scenarios.app in
   match
-    ( (Planner.solve sc.Scenarios.topo sc.Scenarios.app l).Planner.result,
-      (Planner.solve sc.Scenarios.topo sc.Scenarios.app c).Planner.result )
+    ( (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling:l)).Planner.result,
+      (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling:c)).Planner.result )
   with
   | Ok ps, Ok pc ->
       Alcotest.(check bool) "tighter band, lower LAN use" true
@@ -184,8 +184,8 @@ let test_node_cpu_leveling () =
          Array.length a.Sekitei_core.Action.checked_node > 0)
        pb_lvl.Sekitei_core.Problem.actions);
   match
-    ( (Planner.solve sc.Scenarios.topo sc.Scenarios.app base).Planner.result,
-      (Planner.solve sc.Scenarios.topo sc.Scenarios.app leveled).Planner.result )
+    ( (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling:base)).Planner.result,
+      (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling:leveled)).Planner.result )
   with
   | Ok p1, Ok p2 ->
       Alcotest.(check int) "same plan length" (Plan.length p1) (Plan.length p2)

@@ -1,0 +1,198 @@
+(* Summarize a JSONL telemetry trace (sekitei plan --trace out.jsonl)
+   into an ASCII report: the span tree with call counts and self/total
+   wall time, aggregated counters, final gauges, and the progress
+   heartbeat count.
+
+   Sibling spans with the same name are aggregated into one tree row
+   (e.g. the hundreds of slrg.query spans under rg), so the report stays
+   readable on large searches. *)
+
+module Json = Sekitei_util.Json
+module Table = Sekitei_util.Ascii_table
+
+type span = {
+  name : string;
+  parent : int;
+  mutable dur_ms : float;
+  mutable ended : bool;
+}
+
+type trace = {
+  spans : (int, span) Hashtbl.t;  (* id -> span; roots have parent 0 *)
+  mutable counters : (string * int) list;  (* last total per name wins *)
+  mutable gauges : (string * float) list;
+  mutable progress : int;
+  mutable bad_lines : int;
+}
+
+let get_str j k = Option.bind (Json.member k j) Json.to_str
+let get_int j k = Option.bind (Json.member k j) Json.to_int
+let get_float j k = Option.bind (Json.member k j) Json.to_float
+
+let set_assoc k v l = (k, v) :: List.remove_assoc k l
+
+let add_event tr j =
+  match get_str j "ev" with
+  | Some "span_begin" -> (
+      match (get_int j "id", get_str j "name", get_int j "parent") with
+      | Some id, Some name, Some parent ->
+          Hashtbl.replace tr.spans id
+            { name; parent; dur_ms = 0.; ended = false }
+      | _ -> tr.bad_lines <- tr.bad_lines + 1)
+  | Some "span_end" -> (
+      match (get_int j "id", get_float j "dur_ms") with
+      | Some id, Some dur_ms -> (
+          match Hashtbl.find_opt tr.spans id with
+          | Some sp ->
+              sp.dur_ms <- dur_ms;
+              sp.ended <- true
+          | None -> tr.bad_lines <- tr.bad_lines + 1)
+      | _ -> tr.bad_lines <- tr.bad_lines + 1)
+  | Some "counter" -> (
+      match (get_str j "name", get_int j "total") with
+      | Some name, Some total -> tr.counters <- set_assoc name total tr.counters
+      | _ -> tr.bad_lines <- tr.bad_lines + 1)
+  | Some "gauge" -> (
+      match (get_str j "name", get_float j "value") with
+      | Some name, Some v -> tr.gauges <- set_assoc name v tr.gauges
+      | _ -> tr.bad_lines <- tr.bad_lines + 1)
+  | Some "progress" -> tr.progress <- tr.progress + 1
+  | _ -> tr.bad_lines <- tr.bad_lines + 1
+
+let load path =
+  let tr =
+    {
+      spans = Hashtbl.create 256;
+      counters = [];
+      gauges = [];
+      progress = 0;
+      bad_lines = 0;
+    }
+  in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      try
+        while true do
+          let line = String.trim (input_line ic) in
+          if line <> "" then
+            match Json.of_string line with
+            | Ok j -> add_event tr j
+            | Error _ -> tr.bad_lines <- tr.bad_lines + 1
+        done
+      with End_of_file -> ());
+  tr
+
+(* One aggregated tree row: same-named siblings merged. *)
+type agg = {
+  agg_name : string;
+  calls : int;
+  total_ms : float;
+  children : agg list;
+}
+
+let aggregate tr =
+  let children_of = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id (sp : span) ->
+      let prev =
+        Option.value (Hashtbl.find_opt children_of sp.parent) ~default:[]
+      in
+      Hashtbl.replace children_of sp.parent ((id, sp) :: prev))
+    tr.spans;
+  let rec group ids =
+    let by_name = Hashtbl.create 8 in
+    let order = ref [] in
+    List.iter
+      (fun (id, (sp : span)) ->
+        if not (Hashtbl.mem by_name sp.name) then order := sp.name :: !order;
+        let prev =
+          Option.value (Hashtbl.find_opt by_name sp.name) ~default:[]
+        in
+        Hashtbl.replace by_name sp.name ((id, sp) :: prev))
+      ids;
+    List.rev_map
+      (fun name ->
+        let members = Hashtbl.find by_name name in
+        let kids =
+          List.concat_map
+            (fun (id, _) ->
+              Option.value (Hashtbl.find_opt children_of id) ~default:[])
+            members
+        in
+        {
+          agg_name = name;
+          calls = List.length members;
+          total_ms = List.fold_left (fun a (_, sp) -> a +. sp.dur_ms) 0. members;
+          children = group kids;
+        })
+      !order
+    |> List.sort (fun a b -> Float.compare b.total_ms a.total_ms)
+  in
+  group (Option.value (Hashtbl.find_opt children_of 0) ~default:[])
+
+let render_tree roots =
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "span"; "calls"; "total ms"; "self ms" ]
+  in
+  let rec walk depth agg =
+    let child_ms =
+      List.fold_left (fun a c -> a +. c.total_ms) 0. agg.children
+    in
+    Table.add_row t
+      [
+        String.make (2 * depth) ' ' ^ agg.agg_name;
+        string_of_int agg.calls;
+        Printf.sprintf "%.2f" agg.total_ms;
+        Printf.sprintf "%.2f" (Float.max 0. (agg.total_ms -. child_ms));
+      ];
+    List.iter (walk (depth + 1)) agg.children
+  in
+  List.iter (walk 0) roots;
+  Table.render t
+
+let render_counters tr =
+  if tr.counters = [] then ""
+  else begin
+    let t =
+      Table.create ~aligns:[ Table.Left; Table.Right ] [ "counter"; "total" ]
+    in
+    List.sort (fun (_, a) (_, b) -> Int.compare b a) tr.counters
+    |> List.iter (fun (name, total) ->
+           Table.add_row t [ name; string_of_int total ]);
+    "\n" ^ Table.render t
+  end
+
+let render_gauges tr =
+  if tr.gauges = [] then ""
+  else begin
+    let t =
+      Table.create ~aligns:[ Table.Left; Table.Right ] [ "gauge"; "last value" ]
+    in
+    List.sort compare tr.gauges
+    |> List.iter (fun (name, v) ->
+           Table.add_row t [ name; Printf.sprintf "%g" v ]);
+    "\n" ^ Table.render t
+  end
+
+let () =
+  match Sys.argv with
+  | [| _; path |] ->
+      let tr = load path in
+      if Hashtbl.length tr.spans = 0 then begin
+        Printf.eprintf "%s: no spans found\n" path;
+        exit 1
+      end;
+      print_string (render_tree (aggregate tr));
+      print_string (render_counters tr);
+      print_string (render_gauges tr);
+      if tr.progress > 0 then
+        Printf.printf "\n%d progress heartbeat(s)\n" tr.progress;
+      if tr.bad_lines > 0 then
+        Printf.printf "\nwarning: %d unparseable line(s) skipped\n" tr.bad_lines
+  | _ ->
+      Printf.eprintf "usage: %s TRACE.jsonl\n" Sys.argv.(0);
+      exit 2
