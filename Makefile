@@ -1,10 +1,18 @@
-.PHONY: build test bench bench-json profile clean
+.PHONY: build test check bench bench-json profile clean
 
 build:
 	dune build
 
 test:
 	dune runtest
+
+# One-stop verification: build, the full test suite (unit + property +
+# cram), and a fresh machine-readable bench run re-parsed through the
+# JSON schema checker.
+check:
+	dune build
+	dune runtest
+	dune exec bench/main.exe -- --json --check --out /tmp/sekitei_bench_check.json
 
 # Full benchmark run: every paper exhibit, ablations, microbenchmarks.
 bench:

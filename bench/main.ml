@@ -184,7 +184,7 @@ let microbenches () =
     (List.sort compare names)
 
 (* ------------------------------------------------------------------ *)
-(* Machine-readable mode: --json [--tag TAG] [--out FILE]              *)
+(* Machine-readable mode: --json [--tag TAG] [--out FILE] [--check]    *)
 (* ------------------------------------------------------------------ *)
 
 let json_mode () =
@@ -196,10 +196,21 @@ let json_mode () =
   let argv = Array.to_list Sys.argv in
   let tag = opt_arg "--tag" argv in
   let out = Option.value (opt_arg "--out" argv) ~default:"BENCH_rg.json" in
+  let check = List.mem "--check" argv in
   let doc = Sekitei_harness.Bench_json.(to_json ?tag (run_default ())) in
   Sekitei_harness.Bench_json.write_file out doc;
-  print_string doc;
-  Printf.eprintf "wrote %s\n" out
+  if check then
+    (* Deterministic output for the cram suite: re-parse what was written
+       and report only the record count. *)
+    match Sekitei_harness.Bench_json.parse_check doc with
+    | Ok n -> Printf.printf "bench json: %d records ok\n" n
+    | Error e ->
+        Printf.eprintf "bench json: %s\n" e;
+        exit 1
+  else begin
+    print_string doc;
+    Printf.eprintf "wrote %s\n" out
+  end
 
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then json_mode ()

@@ -35,6 +35,10 @@ type stats = {
   replay_pruned : int;
   final_replay_rejected : int;
   rg_duplicates : int;
+  order_repaired : int;
+  slrg_cache_hits : int;
+  slrg_suffix_harvested : int;
+  slrg_bound_promoted : int;
   t_total_ms : float;
   t_search_ms : float;
 }
@@ -54,11 +58,13 @@ let request ?(config = default_config) ?(telemetry = Telemetry.null)
   { topo; app; leveling; config; telemetry }
 
 type phase = { ms : float; items : int }
+type slrg_cache = { hits : int; harvested : int; promoted : int }
 
 type phases = {
   compile : phase;  (** items = leveled actions after pruning *)
   plrg : phase;  (** items = relevant propositions *)
   slrg : phase;  (** items = set nodes generated *)
+  slrg_cache : slrg_cache;  (** cross-query reuse counters *)
   rg : phase;  (** items = RG nodes created *)
 }
 
@@ -80,14 +86,25 @@ let empty_stats =
     replay_pruned = 0;
     final_replay_rejected = 0;
     rg_duplicates = 0;
+    order_repaired = 0;
+    slrg_cache_hits = 0;
+    slrg_suffix_harvested = 0;
+    slrg_bound_promoted = 0;
     t_total_ms = 0.;
     t_search_ms = 0.;
   }
 
 let no_phase = { ms = 0.; items = 0 }
+let no_cache = { hits = 0; harvested = 0; promoted = 0 }
 
 let empty_phases =
-  { compile = no_phase; plrg = no_phase; slrg = no_phase; rg = no_phase }
+  {
+    compile = no_phase;
+    plrg = no_phase;
+    slrg = no_phase;
+    slrg_cache = no_cache;
+    rg = no_phase;
+  }
 
 let plan ?adjust (req : request) =
   let { topo; app; leveling; config; telemetry } = req in
@@ -169,16 +186,25 @@ let plan ?adjust (req : request) =
                 | None -> 0);
               rg_duplicates =
                 (match rg_stats with Some s -> s.Rg.duplicates | None -> 0);
+              order_repaired =
+                (match rg_stats with Some s -> s.Rg.order_repaired | None -> 0);
+              slrg_cache_hits =
+                (match slrg with Some s -> Slrg.cache_hits s | None -> 0);
+              slrg_suffix_harvested =
+                (match slrg with Some s -> Slrg.suffix_harvested s | None -> 0);
+              slrg_bound_promoted =
+                (match slrg with Some s -> Slrg.bound_promoted s | None -> 0);
               t_total_ms = Timer.elapsed_ms t_total;
               t_search_ms = search_ms;
             }
           in
-          let base_phases ?(slrg_ms = 0.) ?(slrg_items = 0) ?(rg_ms = 0.)
-              ?(rg_items = 0) () =
+          let base_phases ?(slrg_ms = 0.) ?(slrg_items = 0)
+              ?(slrg_cache = no_cache) ?(rg_ms = 0.) ?(rg_items = 0) () =
             {
               compile = { ms = compile_ms; items = total_actions };
               plrg = { ms = plrg_ms; items = plrg_props };
               slrg = { ms = slrg_ms; items = slrg_items };
+              slrg_cache;
               rg = { ms = rg_ms; items = rg_items };
             }
           in
@@ -228,8 +254,14 @@ let plan ?adjust (req : request) =
             let phases =
               base_phases
                 ~slrg_ms:(slrg_create_ms +. Slrg.query_ms slrg)
-                ~slrg_items:(Slrg.nodes_generated slrg) ~rg_ms
-                ~rg_items:rg_stats.Rg.created ()
+                ~slrg_items:(Slrg.nodes_generated slrg)
+                ~slrg_cache:
+                  {
+                    hits = Slrg.cache_hits slrg;
+                    harvested = Slrg.suffix_harvested slrg;
+                    promoted = Slrg.bound_promoted slrg;
+                  }
+                ~rg_ms ~rg_items:rg_stats.Rg.created ()
             in
             match result with
             | Rg.Solution (tail, metrics, cost_lb) ->
@@ -268,13 +300,15 @@ let pp_failure_reason fmt = function
 let pp_stats fmt s =
   Format.fprintf fmt
     "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d dups=%d \
-     rejected=%d time=%.1f/%.1fms"
+     rejected=%d repaired=%d time=%.1f/%.1fms"
     s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
     s.rg_open_left s.rg_expanded s.replay_pruned s.rg_duplicates
-    s.final_replay_rejected s.t_total_ms s.t_search_ms
+    s.final_replay_rejected s.order_repaired s.t_total_ms s.t_search_ms
 
 let pp_phases fmt p =
   Format.fprintf fmt
-    "compile=%.1fms/%d plrg=%.1fms/%d slrg=%.1fms/%d rg=%.1fms/%d"
+    "compile=%.1fms/%d plrg=%.1fms/%d slrg=%.1fms/%d slrg_cache=%d/%d/%d \
+     rg=%.1fms/%d"
     p.compile.ms p.compile.items p.plrg.ms p.plrg.items p.slrg.ms p.slrg.items
-    p.rg.ms p.rg.items
+    p.slrg_cache.hits p.slrg_cache.harvested p.slrg_cache.promoted p.rg.ms
+    p.rg.items

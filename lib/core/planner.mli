@@ -43,6 +43,16 @@ type stats = {
   rg_duplicates : int;
       (** RG nodes pruned by duplicate detection (pending set re-derived
           at an equal-or-worse g) *)
+  order_repaired : int;
+      (** candidate tails recovered by the RG backtracking re-sequencer
+          after failing from-init validation *)
+  slrg_cache_hits : int;
+      (** SLRG queries answered from the solved or capped-bound caches *)
+  slrg_suffix_harvested : int;
+      (** exact SLRG cache entries recorded by suffix-cost harvesting
+          beyond the queried roots themselves *)
+  slrg_bound_promoted : int;
+      (** budget-exhausted SLRG bounds later replaced by exact entries *)
   t_total_ms : float;  (** Table 2 col 9 (left) *)
   t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
 }
@@ -73,6 +83,14 @@ val request :
 (** One phase of the pipeline: wall time and a characteristic size. *)
 type phase = { ms : float; items : int }
 
+(** Cross-query reuse counters of the SLRG cost oracle (printed by
+    {!pp_phases} as [slrg_cache=hits/harvested/promoted]). *)
+type slrg_cache = {
+  hits : int;  (** queries answered without running an A* *)
+  harvested : int;  (** suffix entries recorded beyond queried roots *)
+  promoted : int;  (** exhausted bounds replaced by exact entries *)
+}
+
 type phases = {
   compile : phase;  (** items = leveled actions after pruning *)
   plrg : phase;  (** items = relevant propositions *)
@@ -80,6 +98,7 @@ type phases = {
       (** items = set nodes generated; [ms] = oracle construction plus the
           cumulative wall time of its lazy queries, which run {e inside}
           the RG search (so [slrg.ms] overlaps [rg.ms]) *)
+  slrg_cache : slrg_cache;
   rg : phase;  (** items = RG nodes created *)
 }
 

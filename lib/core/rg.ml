@@ -9,6 +9,7 @@ type stats = {
   replay_pruned : int;
   final_replay_rejected : int;
   duplicates : int;
+  order_repaired : int;
 }
 
 type result =
@@ -25,41 +26,6 @@ type node = {
       (** optimistic replay state of the suffix, built incrementally in
           regression order (one [Replay.extend] per search edge) *)
 }
-
-(* Per-proposition relevant supporting actions, ascending id.  Filtering
-   and sorting once here replaces the per-expansion Hashtbl + polymorphic
-   sort of the naive implementation. *)
-let supports_relevant (pb : Problem.t) plrg =
-  Array.map
-    (fun aids ->
-      let arr =
-        Array.of_list (List.filter (Plrg.action_relevant plrg) aids)
-      in
-      Array.sort Int.compare arr;
-      arr)
-    pb.supports
-
-(* Distinct relevant actions supporting any pending proposition, ascending.
-   [seen] is a scratch bitmap over action ids, cleared before return. *)
-let candidate_actions supports_rel (seen : bool array) (set : int array) =
-  let acc = ref [] in
-  let count = ref 0 in
-  Array.iter
-    (fun p ->
-      Array.iter
-        (fun aid ->
-          if not seen.(aid) then begin
-            seen.(aid) <- true;
-            acc := aid :: !acc;
-            incr count
-          end)
-        supports_rel.(p))
-    set;
-  let out = Array.make !count 0 in
-  List.iteri (fun i aid -> out.(i) <- aid) !acc;
-  List.iter (fun aid -> seen.(aid) <- false) !acc;
-  Array.sort Int.compare out;
-  out
 
 (* Duplicate-detection key: canonical pending set plus the set of action
    ids in the tail.  The repetition guard makes tails action *sets*, so
@@ -82,32 +48,68 @@ end
 
 module Ktbl = Hashtbl.Make (Key)
 
-(* Greedy re-sequencing of a candidate tail under from-init semantics.
+(* Re-sequencing of a candidate tail under from-init semantics.
    Duplicate detection collapses permuted tails, so of several orderings
    of one action set only a single tail may survive to final validation —
    and from-init replay is order-sensitive.  When that surviving order
-   fails, try to execute the same action set in any feasible order:
-   repeatedly pick the first remaining action that extends the from-init
-   state.  The greedy choice is safe in practice because feasibility here
-   is dominated by dataflow availability, which is monotone in the set of
-   executed actions. *)
-let repair_order (pb : Problem.t) tail =
+   fails, search for a feasible execution order of the same action set by
+   depth-first backtracking over the remaining actions (an earlier greedy
+   first-feasible pick could dead-end and lose a solution that dedup had
+   collapsed).  Remaining sets proven infeasible are memoized — replay
+   feasibility of a remainder depends on the executed action {e set}, not
+   its order (consumption sums and produced availabilities are
+   order-independent) — which caps the search at one attempt per subset.
+   [steps] holds the remaining [Replay.extend] budget and is decremented
+   in place, so one pool can be shared across many repair attempts;
+   within the budget the search is exhaustive — [Infeasible] is a proof
+   that no order of the action set replays from init, while [Gave_up]
+   only says the budget ran out first. *)
+type repair_outcome =
+  | Repaired of Action.t list * Replay.metrics
+  | Infeasible
+  | Gave_up
+
+let repair_search ~steps (pb : Problem.t) tail =
+  let arr = Array.of_list tail in
+  let failed = Hashtbl.create 32 in
+  let exception Out_of_budget in
   let rec go rs acc remaining =
     match remaining with
-    | [] -> Some (List.rev acc, Replay.rstate_metrics pb rs)
-    | _ -> (
-        let rec try_each tried = function
-          | [] -> None
-          | a :: rest -> (
-              match Replay.extend pb ~mode:Replay.From_init rs a with
-              | Ok rs' -> Some (rs', a, List.rev_append tried rest)
-              | Error _ -> try_each (a :: tried) rest)
-        in
-        match try_each [] remaining with
-        | None -> None
-        | Some (rs', a, remaining') -> go rs' (a :: acc) remaining')
+    | [] ->
+        Some
+          (List.rev_map (fun i -> arr.(i)) acc, Replay.rstate_metrics pb rs)
+    | _ ->
+        let key = List.sort Int.compare remaining in
+        if Hashtbl.mem failed key then None
+        else begin
+          let rec try_each tried = function
+            | [] -> None
+            | i :: rest -> (
+                if !steps <= 0 then raise Out_of_budget;
+                decr steps;
+                match Replay.extend pb ~mode:Replay.From_init rs arr.(i) with
+                | Error _ -> try_each (i :: tried) rest
+                | Ok rs' -> (
+                    match go rs' (i :: acc) (List.rev_append tried rest) with
+                    | Some _ as found -> found
+                    | None -> try_each (i :: tried) rest))
+          in
+          match try_each [] remaining with
+          | Some _ as found -> found
+          | None ->
+              Hashtbl.replace failed key ();
+              None
+        end
   in
-  go (Replay.initial pb) [] tail
+  match go (Replay.initial pb) [] (List.init (Array.length arr) Fun.id) with
+  | Some (tail', metrics) -> Repaired (tail', metrics)
+  | None -> Infeasible
+  | exception Out_of_budget -> Gave_up
+
+let repair_order ?(max_steps = 20_000) pb tail =
+  match repair_search ~steps:(ref max_steps) pb tail with
+  | Repaired (tail', metrics) -> Some (tail', metrics)
+  | Infeasible | Gave_up -> None
 
 let search ?(max_expansions = 500_000) ?(dedup = true)
     ?(telemetry = Telemetry.null) (pb : Problem.t) plrg slrg =
@@ -116,17 +118,30 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
   and expanded = ref 0
   and replay_pruned = ref 0
   and final_rejected = ref 0
-  and duplicates = ref 0 in
+  and duplicates = ref 0
+  and order_repaired = ref 0 in
   let ctx = Propset.make_ctx pb in
-  let supports_rel = supports_relevant pb plrg in
-  let seen = Array.make (Array.length pb.actions) false in
+  let supports = Supports.make pb plrg in
   (* (pending set, action set) pairs already on the open list.  A node
      re-deriving a recorded pair is a permutation of the recorded one —
      a duplicate, pruned.  Order sensitivity of the final from-init
-     validation is restored by [repair_order] below.  The empty set is
+     validation is restored by [repair_search] below.  The empty set is
      exempt: candidate solutions go to validation individually, so a
-     greedy repair failure on one permutation cannot mask another. *)
+     repair budget exhaustion on one permutation cannot mask another. *)
   let seen_keys = Ktbl.create 256 in
+  (* Action sets whose exhaustive repair proved no order replays from
+     init.  Candidates are exempt from dedup, so the same multiset keeps
+     resurfacing in permuted tails; its infeasibility is a property of
+     the set alone, and the proof is reused instead of re-derived.
+     Budget-exhausted repairs are never cached here. *)
+  let repair_failed = Hashtbl.create 32 in
+  (* Shared [Replay.extend] pool for all repair attempts of one search.
+     Repair is opportunistic — skipping it only forgoes a recovery, never
+     soundness — and on infeasible instances thousands of candidates can
+     otherwise each pay an exhaustive re-sequencing that cannot succeed.
+     Each attempt is additionally capped so one pathological tail cannot
+     drain the pool alone. *)
+  let repair_pool = ref 500_000 in
   let heap = Heap.create () in
   let push node =
     let h = Slrg.query_set slrg node.set in
@@ -166,6 +181,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
       Telemetry.count telemetry "rg.replay_pruned" !replay_pruned;
       Telemetry.count telemetry "rg.final_replay_rejected" !final_rejected;
       Telemetry.count telemetry "rg.duplicates" !duplicates;
+      Telemetry.count telemetry "rg.order_repaired" !order_repaired;
       Telemetry.gauge telemetry "rg.open_left" (float_of_int (Heap.length heap))
     end;
     ( result,
@@ -176,6 +192,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
         replay_pruned = !replay_pruned;
         final_replay_rejected = !final_rejected;
         duplicates = !duplicates;
+        order_repaired = !order_repaired;
       } )
   in
   let rec loop () =
@@ -197,20 +214,40 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
               ];
           if Array.length node.set = 0 then begin
             (* Candidate solution: validate against the true initial map. *)
-            match Replay.run ~telemetry pb ~mode:Replay.From_init node.tail with
-            | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
-            | Error _ -> (
-                (* The order that survived dedup may be infeasible even
-                   though a permutation of the same multiset is fine. *)
-                match
-                  Telemetry.with_span telemetry "replay.repair" (fun () ->
-                      repair_order pb node.tail)
-                with
-                | Some (tail', metrics) ->
-                    finish (Solution (tail', metrics, node.g))
-                | None ->
-                    incr final_rejected;
-                    loop ())
+            let akey = Iset.elements node.acts in
+            if Hashtbl.mem repair_failed akey then begin
+              incr final_rejected;
+              loop ()
+            end
+            else
+              match
+                Replay.run ~telemetry pb ~mode:Replay.From_init node.tail
+              with
+              | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
+              | Error _ when !repair_pool <= 0 ->
+                  incr final_rejected;
+                  loop ()
+              | Error _ -> (
+                  (* The order that survived dedup may be infeasible even
+                     though a permutation of the same multiset is fine. *)
+                  let steps = ref (min 20_000 !repair_pool) in
+                  let budget = !steps in
+                  let outcome =
+                    Telemetry.with_span telemetry "replay.repair" (fun () ->
+                        repair_search ~steps pb node.tail)
+                  in
+                  repair_pool := !repair_pool - (budget - !steps);
+                  match outcome with
+                  | Repaired (tail', metrics) ->
+                      incr order_repaired;
+                      finish (Solution (tail', metrics, node.g))
+                  | Infeasible ->
+                      Hashtbl.replace repair_failed akey ();
+                      incr final_rejected;
+                      loop ()
+                  | Gave_up ->
+                      incr final_rejected;
+                      loop ())
           end
           else begin
             Array.iter
@@ -229,7 +266,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
                           rs = rs';
                         }
                 end)
-              (candidate_actions supports_rel seen node.set);
+              (Supports.candidates supports node.set);
             loop ()
           end
         end

@@ -22,8 +22,12 @@
     components regress the same obligations at the same cost.  Candidate
     solutions (empty pending set) are exempt from duplicate pruning and
     are still validated by a full from-init replay of the tail in
-    execution order, with a greedy re-sequencing fallback because that
-    validation is order-sensitive while dedup is not. *)
+    execution order, with a backtracking re-sequencing fallback
+    ({!repair_order}) because that validation is order-sensitive while
+    dedup is not.  Re-sequencing is opportunistic: all attempts of one
+    search share a step pool and action sets proven unrepairable are
+    never retried, so infeasible instances rejecting thousands of
+    candidates pay at most the pool. *)
 
 type stats = {
   created : int;  (** RG nodes created *)
@@ -34,6 +38,10 @@ type stats = {
   duplicates : int;
       (** successors pruned by the duplicate table: permutations of a
           (pending set, action set) pair already on the open list *)
+  order_repaired : int;
+      (** candidate tails whose surviving order failed from-init
+          validation but were recovered by the backtracking re-sequencer
+          {!repair_order} *)
 }
 
 type result =
@@ -44,6 +52,20 @@ type result =
           node at termination — an admissible lower bound on any plan a
           longer search could still find *)
 
+(** Re-sequence a candidate tail (an action set in some infeasible order)
+    into an order that replays from the true initial state, by depth-first
+    backtracking with infeasible-remainder memoization; [max_steps]
+    (default 20000) bounds the total [Replay.extend] calls.  Returns the
+    feasible order and its deployment metrics, or [None] when no ordering
+    of the set replays (or the step budget runs out).  Used by {!search}
+    on candidate solutions whose dedup-surviving order fails validation;
+    exposed for direct testing against brute-force permutation search. *)
+val repair_order :
+  ?max_steps:int ->
+  Problem.t ->
+  Action.t list ->
+  (Action.t list * Replay.metrics) option
+
 (** [dedup] (default [true]) toggles the duplicate-detection table —
     exposed so tests can assert that pruning never changes the returned
     plan cost.
@@ -52,8 +74,8 @@ type result =
     {!Sekitei_telemetry.Telemetry.progress_interval} expansions: open-list
     size, best f, expansions, duplicates), counts search totals
     ([rg.created], [rg.expanded], [rg.replay_pruned], [rg.duplicates],
-    [rg.final_replay_rejected]), and wraps final candidate validation in
-    ["replay"] / ["replay.repair"] sub-spans. *)
+    [rg.final_replay_rejected], [rg.order_repaired]), and wraps final
+    candidate validation in ["replay"] / ["replay.repair"] sub-spans. *)
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->

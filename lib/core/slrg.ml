@@ -3,19 +3,47 @@ module H = Propset.Tbl
 module Timer = Sekitei_util.Timer
 module Telemetry = Sekitei_telemetry.Telemetry
 
+(* A budget-exhausted query caches its admissible bound together with the
+   expansion budget it spent; a re-query re-runs the A* with that budget
+   doubled (geometric, so total work per set stays linear in the final
+   budget) until the answer is exact or the per-set cap is reached, after
+   which the bound is served from cache like a solved entry. *)
+let escalation_cap = 32
+
+(* Escalated re-runs additionally draw on one shared pool of
+   [escalation_pool_factor * query_budget] expansions per oracle.  Like
+   order repair in the RG, escalation is opportunistic — serving the
+   cached bound is always sound — and on hard instances thousands of
+   distinct exhausted sets would otherwise each escalate to the per-set
+   cap, multiplying total search work for bounds the caller never
+   benefits from. *)
+let escalation_pool_factor = 100
+
+(* Adaptive bound harvesting is skipped when a solve closed more sets
+   than this: huge closed sets (escalated runs on hard instances) are
+   dominated by interior sets no later query revisits, and harvesting
+   them bloats [bounds] — taxing the per-successor seeding lookup of
+   every subsequent query — for no pruning in return. *)
+let harvest_cap = 4096
+
 type t = {
   problem : Problem.t;
   plrg : Plrg.t;
   ctx : Propset.ctx;
-  supports_rel : int array array;
-      (** per proposition: relevant supporting actions, ascending id *)
-  seen : bool array;  (** scratch bitmap over action ids *)
+  supports : Supports.t;
   query_budget : int;
   solved : float H.t;  (** exact set costs *)
-  bounds : float H.t;
-      (** admissible lower bounds from budget-exhausted queries; cached so
-          repeated RG queries for the same pending set cost nothing *)
+  bounds : (float * int) H.t;
+      (** per budget-exhausted set: the admissible lower bound found so
+          far and the expansion budget spent finding it (drives the
+          doubled-budget escalation on re-query) *)
   mutable generated : int;
+  mutable escalation_pool : int;
+      (** remaining expansions escalated re-runs may spend, shared across
+          all sets of this oracle *)
+  mutable cache_hits : int;
+  mutable suffix_harvested : int;
+  mutable bound_promoted : int;
   telemetry : Telemetry.t;
   mutable query_ms : float;
       (** cumulative wall time of non-memoized queries (always tracked —
@@ -24,26 +52,19 @@ type t = {
 
 let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
     (problem : Problem.t) plrg =
-  let supports_rel =
-    Array.map
-      (fun aids ->
-        let arr =
-          Array.of_list (List.filter (Plrg.action_relevant plrg) aids)
-        in
-        Array.sort Int.compare arr;
-        arr)
-      problem.Problem.supports
-  in
   {
     problem;
     plrg;
     ctx = Propset.make_ctx problem;
-    supports_rel;
-    seen = Array.make (Array.length problem.Problem.actions) false;
+    supports = Supports.make problem plrg;
     query_budget;
     solved = H.create 256;
     bounds = H.create 256;
     generated = 0;
+    escalation_pool = escalation_pool_factor * query_budget;
+    cache_hits = 0;
+    suffix_harvested = 0;
+    bound_promoted = 0;
     telemetry;
     query_ms = 0.;
   }
@@ -51,130 +72,244 @@ let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
 let h_max t set =
   Array.fold_left (fun acc p -> Float.max acc (Plrg.cost t.plrg p)) 0. set
 
-let candidate_actions t (set : int array) =
-  let acc = ref [] in
-  let count = ref 0 in
-  Array.iter
-    (fun p ->
-      Array.iter
-        (fun aid ->
-          if not t.seen.(aid) then begin
-            t.seen.(aid) <- true;
-            acc := aid :: !acc;
-            incr count
-          end)
-        t.supports_rel.(p))
-    set;
-  let out = Array.make !count 0 in
-  List.iteri (fun i aid -> out.(i) <- aid) !acc;
-  List.iter (fun aid -> t.seen.(aid) <- false) !acc;
-  Array.sort Int.compare out;
-  out
+(* Suffix-cost harvesting: at exact termination with optimum [cost], every
+   set on the recorded best complete path satisfies
+   [cost_to_empty set = cost - g(set)] — going through the set is one way
+   to complete (so [cost <= g + cost_to_empty]) and the recorded suffix
+   achieves exactly [cost - g].  One solve thus fills the [solved] cache
+   for the whole chain.  [g_best] may exceed the optimal prefix cost on
+   degenerate reopening orders, in which case the harvested value is an
+   underestimate — still a sound lower bound, never an overestimate. *)
+let harvest t ~root ~cost ~g_best ~parent from =
+  match from with
+  | None -> ()
+  | Some s0 ->
+      let rec walk s =
+        if Array.length s > 0 && not (Propset.equal s root) then begin
+          (match H.find_opt g_best s with
+          | None -> ()
+          | Some g ->
+              let c = cost -. g in
+              (* h_max is consistent under regression, hence admissible
+                 against the exact suffix cost at every chain node. *)
+              assert (h_max t s <= c +. 1e-6);
+              if not (H.mem t.solved s) then begin
+                H.replace t.solved s c;
+                t.suffix_harvested <- t.suffix_harvested + 1;
+                Telemetry.count t.telemetry "slrg.suffix_harvested" 1;
+                if H.mem t.bounds s then begin
+                  H.remove t.bounds s;
+                  t.bound_promoted <- t.bound_promoted + 1;
+                  Telemetry.count t.telemetry "slrg.bound_promoted" 1
+                end
+              end);
+          match H.find_opt parent s with Some p -> walk p | None -> ()
+        end
+        else
+          match H.find_opt parent s with Some p -> walk p | None -> ()
+      in
+      walk s0
+
+(* One A* regression solve of [root] under [budget] expansions.  [prior]
+   is the cached (bound, spent) pair from an earlier exhausted run, folded
+   into the root heuristic and the returned bound. *)
+let run_query t (root : int array) ~prior ~budget =
+  let pb = t.problem in
+  let t0 = Timer.start () in
+  let sp =
+    if Telemetry.enabled t.telemetry then
+      Some (Telemetry.begin_span t.telemetry "slrg.query")
+    else None
+  in
+  let expansions = ref 0 in
+  let cost =
+    let h_root =
+      let h = h_max t root in
+      match prior with Some (b, _) -> Float.max h b | None -> h
+    in
+    if not (Float.is_finite h_root) then begin
+      H.replace t.solved root Float.infinity;
+      Float.infinity
+    end
+    else begin
+      let g_best = H.create 64 in
+      let parent = H.create 64 in
+      let heap = Heap.create () in
+      H.replace g_best root 0.;
+      Heap.add heap ~prio:h_root (root, 0.);
+      t.generated <- t.generated + 1;
+      let best_complete = ref Float.infinity in
+      (* The g_best key the best complete path descends from; its parent
+         chain is harvested on exact termination. *)
+      let complete_from = ref None in
+      let result = ref None in
+      let exact = ref true in
+      (* Bound seeding can make the heuristic inconsistent, and after a
+         node reopening [g_best] values need not telescope along the
+         parent chain any more — the root answer stays exact, but suffix
+         harvesting is skipped for that (rare) run. *)
+      let reopened = ref false in
+      while !result = None do
+        match Heap.peek heap with
+        | None ->
+            result := Some !best_complete
+            (* infinity when nothing completed *)
+        | Some ((set, g), f) ->
+            if !best_complete <= f then result := Some !best_complete
+            else if !expansions >= budget then begin
+              (* Budget exhausted: the open minimum is still an
+                 admissible bound, but not exact. *)
+              exact := false;
+              result := Some (Float.min !best_complete f)
+            end
+            else begin
+              ignore (Heap.pop heap);
+              let stale =
+                match H.find_opt g_best set with
+                | Some g' -> g' < g -. 1e-12
+                | None -> false
+              in
+              if not stale then begin
+                incr expansions;
+                if Array.length set = 0 then begin
+                  if g < !best_complete then begin
+                    best_complete := g;
+                    complete_from := Some set
+                  end;
+                  result := Some !best_complete
+                end
+                else
+                  Array.iter
+                    (fun aid ->
+                      let a = pb.actions.(aid) in
+                      let set' = Propset.regress t.ctx set a in
+                      let g' = g +. a.Action.cost_lb in
+                      match H.find_opt t.solved set' with
+                      | Some rest ->
+                          if g' +. rest < !best_complete then begin
+                            best_complete := g' +. rest;
+                            complete_from := Some set
+                          end
+                      | None -> (
+                          let h = h_max t set' in
+                          if Float.is_finite h then
+                            (* Solved-subset seeding: a cached partial
+                               bound for the successor strengthens its
+                               f-value (still admissible), so exhausted
+                               earlier queries sharpen later ones instead
+                               of being discarded. *)
+                            let h =
+                              match H.find_opt t.bounds set' with
+                              | Some (b, _) -> Float.max h b
+                              | None -> h
+                            in
+                            (* Dominated successors (f no better than a
+                               completion already in hand) can never
+                               improve the answer; with the harvested
+                               bounds folded into h this prunes most of
+                               the frontier of a re-query. *)
+                            if g' +. h < !best_complete then
+                              match H.find_opt g_best set' with
+                              | Some g_old when g_old <= g' +. 1e-12 -> ()
+                              | existing ->
+                                  if Option.is_some existing then
+                                    reopened := true;
+                                  H.replace g_best set' g';
+                                  H.replace parent set' set;
+                                  t.generated <- t.generated + 1;
+                                  Heap.add heap ~prio:(g' +. h) (set', g')))
+                    (Supports.candidates t.supports set)
+              end
+            end
+      done;
+      let cost = Option.get !result in
+      if !exact then begin
+        if not !reopened then
+          harvest t ~root ~cost ~g_best ~parent !complete_from;
+        (* Adaptive-A*-style bound harvesting: all queries regress toward
+           the same target (the empty set), so cost-to-empty is one shared
+           function across queries.  For every set touched by this exact
+           solve, [cost - g] lower-bounds its cost-to-empty — a completion
+           cheaper than that would contradict the optimality of [cost],
+           and any recorded g only overestimates the optimal prefix.
+           Folded into later queries' f-values by bound seeding, this is
+           what makes correlated RG queries terminate almost immediately. *)
+        if Float.is_finite cost && H.length g_best <= harvest_cap then
+          H.iter
+            (fun s g ->
+              let b = cost -. g in
+              if b > 0. && not (H.mem t.solved s) && b > h_max t s then
+                match H.find_opt t.bounds s with
+                | Some (b0, _) when b0 >= b -> ()
+                | Some (_, spent) -> H.replace t.bounds s (b, spent)
+                | None -> H.replace t.bounds s (b, 0))
+            g_best;
+        H.replace t.solved root cost;
+        if H.mem t.bounds root then begin
+          H.remove t.bounds root;
+          t.bound_promoted <- t.bound_promoted + 1;
+          Telemetry.count t.telemetry "slrg.bound_promoted" 1
+        end;
+        cost
+      end
+      else begin
+        (* Keep the strongest admissible bound seen for this set and the
+           budget this run spent, so the next re-query escalates. *)
+        let cost =
+          match prior with Some (b, _) -> Float.max b cost | None -> cost
+        in
+        H.replace t.bounds root (cost, budget);
+        cost
+      end
+    end
+  in
+  if prior <> None then t.escalation_pool <- t.escalation_pool - !expansions;
+  t.query_ms <- t.query_ms +. Timer.elapsed_ms t0;
+  (match sp with
+  | Some sp ->
+      ignore
+        (Telemetry.end_span t.telemetry sp
+           ~attrs:
+             [
+               ("set", Telemetry.Int (Array.length root));
+               ("expansions", Telemetry.Int !expansions);
+               ("cost", Telemetry.Float cost);
+             ])
+  | None -> ());
+  cost
+
+let cache_hit t =
+  t.cache_hits <- t.cache_hits + 1;
+  Telemetry.count t.telemetry "slrg.cache_hit" 1
 
 (* [root] must be canonical (the RG passes its nodes' sets through
    unchanged; results are memoized by that same canonical key). *)
 let query_set t (root : int array) =
-  let pb = t.problem in
   if Array.length root = 0 then 0.
   else
     match H.find_opt t.solved root with
     | Some c ->
-        Telemetry.count t.telemetry "slrg.cache_hit" 1;
+        cache_hit t;
         c
-    | None when H.mem t.bounds root ->
-        Telemetry.count t.telemetry "slrg.cache_hit" 1;
-        H.find t.bounds root
-    | None ->
-        let t0 = Timer.start () in
-        let sp =
-          if Telemetry.enabled t.telemetry then
-            Some (Telemetry.begin_span t.telemetry "slrg.query")
-          else None
-        in
-        let expansions = ref 0 in
-        let cost =
-        let h_root = h_max t root in
-        if not (Float.is_finite h_root) then begin
-          H.replace t.solved root Float.infinity;
-          Float.infinity
-        end
-        else begin
-          let g_best = H.create 64 in
-          let heap = Heap.create () in
-          H.replace g_best root 0.;
-          Heap.add heap ~prio:h_root (root, 0.);
-          t.generated <- t.generated + 1;
-          let best_complete = ref Float.infinity in
-          let result = ref None in
-          let exact = ref true in
-          while !result = None do
-            match Heap.peek heap with
-            | None ->
-                result := Some !best_complete
-                (* infinity when nothing completed *)
-            | Some ((set, g), f) ->
-                if !best_complete <= f then result := Some !best_complete
-                else if !expansions >= t.query_budget then begin
-                  (* Budget exhausted: the open minimum is still an
-                     admissible bound, but not exact. *)
-                  exact := false;
-                  result := Some (Float.min !best_complete f)
-                end
-                else begin
-                  ignore (Heap.pop heap);
-                  let stale =
-                    match H.find_opt g_best set with
-                    | Some g' -> g' < g -. 1e-12
-                    | None -> false
-                  in
-                  if not stale then begin
-                    incr expansions;
-                    if Array.length set = 0 then begin
-                      best_complete := Float.min !best_complete g;
-                      result := Some !best_complete
-                    end
-                    else
-                      Array.iter
-                        (fun aid ->
-                          let a = pb.actions.(aid) in
-                          let set' = Propset.regress t.ctx set a in
-                          let g' = g +. a.Action.cost_lb in
-                          match H.find_opt t.solved set' with
-                          | Some rest ->
-                              best_complete := Float.min !best_complete (g' +. rest)
-                          | None -> (
-                              let h = h_max t set' in
-                              if Float.is_finite h then
-                                match H.find_opt g_best set' with
-                                | Some g_old when g_old <= g' +. 1e-12 -> ()
-                                | _ ->
-                                    H.replace g_best set' g';
-                                    t.generated <- t.generated + 1;
-                                    Heap.add heap ~prio:(g' +. h) (set', g')))
-                        (candidate_actions t set)
-                  end
-                end
-          done;
-          let cost = Option.get !result in
-          if !exact then H.replace t.solved root cost
-          else H.replace t.bounds root cost;
-          cost
-        end
-        in
-        t.query_ms <- t.query_ms +. Timer.elapsed_ms t0;
-        (match sp with
-        | Some sp ->
-            ignore
-              (Telemetry.end_span t.telemetry sp
-                 ~attrs:
-                   [
-                     ("set", Telemetry.Int (Array.length root));
-                     ("expansions", Telemetry.Int !expansions);
-                     ("cost", Telemetry.Float cost);
-                   ])
-        | None -> ());
-        cost
+    | None -> (
+        match H.find_opt t.bounds root with
+        | Some (b, spent)
+          when spent >= escalation_cap * t.query_budget
+               || t.escalation_pool <= 0 ->
+            (* Escalation cap or shared pool exhausted: serve the bound
+               like a cache entry so pathological sets cannot dominate
+               planning time. *)
+            cache_hit t;
+            b
+        | Some (_, spent) as prior ->
+            run_query t root ~prior ~budget:(max t.query_budget (2 * spent))
+        | None -> run_query t root ~prior:None ~budget:t.query_budget)
 
 let query t props = query_set t (Propset.canonical t.problem props)
 let nodes_generated t = t.generated
 let query_ms t = t.query_ms
+let cache_hits t = t.cache_hits
+let suffix_harvested t = t.suffix_harvested
+let bound_promoted t = t.bound_promoted
+
+let iter_solved t f = H.iter f t.solved

@@ -8,17 +8,33 @@
     18 to 19 because two link crossings can no longer be counted in
     parallel).
 
-    The oracle is lazy and memoized: the RG phase queries it once per
-    search node; query results and the closed sets they solve are cached
-    across queries.  Every query is budgeted — on budget exhaustion the
-    best open f-value (still an admissible lower bound, at least as strong
-    as the PLRG estimate) is returned and not memoized as exact. *)
+    The oracle is lazy, memoized, and built for {e cross-query reuse} —
+    one A* pays for many future queries:
+
+    - {b Suffix-cost harvesting.}  A query that terminates exactly records
+      the exact cost-to-empty for every set on its optimal path
+      ([C* - g(set)], valid because the PLRG h_max heuristic is consistent
+      under regression), turning one solve into a batch of solved cache
+      entries.
+    - {b Bound escalation.}  A budget-exhausted query caches its
+      admissible bound {e together with the budget spent}; a re-query
+      re-runs with a doubled budget until exact (the bound is then
+      {e promoted} to a solved entry) or a fixed per-set cap is reached,
+      after which the bound is served from cache.  Escalated re-runs
+      additionally draw on one shared per-oracle expansion pool — when it
+      runs dry, cached bounds are served as-is, so hard instances with
+      thousands of exhausted sets cannot multiply planning time
+      (escalation is opportunistic, never needed for soundness).
+    - {b Bound seeding.}  Expansions reaching a set whose cost is known
+      only as a cached bound fold that bound into the successor's f-value
+      (still admissible), so exhausted queries sharpen later ones. *)
 
 type t
 
 (** [telemetry] attaches a ["slrg.query"] sub-span to every non-memoized
     query (set size, A* expansions, resulting cost) and counts cache hits
-    ([slrg.cache_hit]). *)
+    ([slrg.cache_hit]), harvested suffix entries ([slrg.suffix_harvested])
+    and bound promotions ([slrg.bound_promoted]). *)
 val create :
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
   ?query_budget:int ->
@@ -43,3 +59,20 @@ val nodes_generated : t -> int
     SLRG share of the RG search phase in the planner's report.  Tracked
     whether or not telemetry is enabled. *)
 val query_ms : t -> float
+
+(** Queries answered from the solved or capped-bound caches without
+    running an A*. *)
+val cache_hits : t -> int
+
+(** Exact cache entries recorded by suffix-cost harvesting beyond the
+    queried roots themselves. *)
+val suffix_harvested : t -> int
+
+(** Budget-exhausted bounds later replaced by exact solved entries
+    (escalated re-query or harvest). *)
+val bound_promoted : t -> int
+
+(** Iterate over every exact solved cache entry (canonical set, cost).
+    Exposed for cache-consistency tests and diagnostics; the iteration
+    order is unspecified. *)
+val iter_solved : t -> (int array -> float -> unit) -> unit

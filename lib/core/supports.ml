@@ -1,0 +1,44 @@
+(* Shared relevant-supports precomputation for the two set-regression
+   searches (SLRG and RG).  Both phases branch on "distinct relevant
+   actions supporting any pending proposition"; keeping the filtered
+   per-proposition tables and the scratch bitmap in one place means the
+   phases cannot drift apart. *)
+
+type t = {
+  rel : int array array;
+      (** per proposition: relevant supporting actions, ascending id *)
+  seen : bool array;  (** scratch bitmap over action ids, false at rest *)
+}
+
+let make (pb : Problem.t) plrg =
+  let rel =
+    Array.map
+      (fun aids ->
+        let arr =
+          Array.of_list (List.filter (Plrg.action_relevant plrg) aids)
+        in
+        Array.sort Int.compare arr;
+        arr)
+      pb.Problem.supports
+  in
+  { rel; seen = Array.make (Array.length pb.Problem.actions) false }
+
+let candidates t (set : int array) =
+  let acc = ref [] in
+  let count = ref 0 in
+  Array.iter
+    (fun p ->
+      Array.iter
+        (fun aid ->
+          if not t.seen.(aid) then begin
+            t.seen.(aid) <- true;
+            acc := aid :: !acc;
+            incr count
+          end)
+        t.rel.(p))
+    set;
+  let out = Array.make !count 0 in
+  List.iteri (fun i aid -> out.(i) <- aid) !acc;
+  List.iter (fun aid -> t.seen.(aid) <- false) !acc;
+  Array.sort Int.compare out;
+  out

@@ -1,0 +1,18 @@
+(** Relevant-supports tables shared by the SLRG and RG regression searches.
+
+    Both phases expand a pending proposition set by the distinct
+    PLRG-relevant actions supporting any of its propositions.  This module
+    owns the single filtered, [Int.compare]-sorted per-proposition table
+    and the scratch bitmap used for deduplication, so the two phases run
+    the identical branching rule. *)
+
+type t
+
+(** [make pb plrg] filters [pb.supports] down to the PLRG-relevant actions,
+    sorted ascending per proposition. *)
+val make : Problem.t -> Plrg.t -> t
+
+(** [candidates t set] is the ascending array of distinct relevant action
+    ids supporting at least one proposition of [set].  Not reentrant (one
+    shared scratch bitmap), like the searches that call it. *)
+val candidates : t -> int array -> int array

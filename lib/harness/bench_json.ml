@@ -17,6 +17,9 @@ type record = {
   rg_created : int;
   rg_expanded : int;
   rg_duplicates : int;
+  slrg_cache_hits : int;
+  slrg_suffix_harvested : int;
+  slrg_bound_promoted : int;
   search_ms : float;
   compile_ms : float;
   plrg_ms : float;
@@ -37,6 +40,9 @@ let measure ?config (sc : Scenarios.t) level =
     rg_created = s.Planner.rg_created;
     rg_expanded = s.Planner.rg_expanded;
     rg_duplicates = s.Planner.rg_duplicates;
+    slrg_cache_hits = s.Planner.slrg_cache_hits;
+    slrg_suffix_harvested = s.Planner.slrg_suffix_harvested;
+    slrg_bound_promoted = s.Planner.slrg_bound_promoted;
     search_ms = s.Planner.t_search_ms;
     compile_ms = ph.Planner.compile.Planner.ms;
     plrg_ms = ph.Planner.plrg.Planner.ms;
@@ -48,6 +54,7 @@ let run_default ?config () =
   [
     measure ?config (Scenarios.tiny ()) Media.C;
     measure ?config (Scenarios.small ()) Media.C;
+    measure ?config (Scenarios.large ()) Media.C;
   ]
 
 (* Timings are rounded to microseconds so records stay diff-friendly. *)
@@ -65,6 +72,9 @@ let record_to_json ?tag r =
         ("rg_created", Json.Int r.rg_created);
         ("rg_expanded", Json.Int r.rg_expanded);
         ("rg_duplicates", Json.Int r.rg_duplicates);
+        ("slrg_cache_hits", Json.Int r.slrg_cache_hits);
+        ("slrg_suffix_harvested", Json.Int r.slrg_suffix_harvested);
+        ("slrg_bound_promoted", Json.Int r.slrg_bound_promoted);
         ("search_ms", ms r.search_ms);
         ("compile_ms", ms r.compile_ms);
         ("plrg_ms", ms r.plrg_ms);
@@ -85,6 +95,9 @@ let required_keys =
     "\"rg_created\"";
     "\"rg_expanded\"";
     "\"rg_duplicates\"";
+    "\"slrg_cache_hits\"";
+    "\"slrg_suffix_harvested\"";
+    "\"slrg_bound_promoted\"";
     "\"search_ms\"";
     "\"compile_ms\"";
     "\"plrg_ms\"";
@@ -139,8 +152,10 @@ let parse_check doc =
         | Some v -> (
             match (k, v) with
             | ("scenario" | "tag"), Json.Str _ -> None
-            | ("actions" | "rg_created" | "rg_expanded" | "rg_duplicates"), Json.Int _
-              ->
+            | ( ( "actions" | "rg_created" | "rg_expanded" | "rg_duplicates"
+                | "slrg_cache_hits" | "slrg_suffix_harvested"
+                | "slrg_bound_promoted" ),
+                Json.Int _ ) ->
                 None
             | ( ("search_ms" | "compile_ms" | "plrg_ms" | "slrg_ms" | "rg_ms"),
                 (Json.Float _ | Json.Int _) ) ->
@@ -150,6 +165,7 @@ let parse_check doc =
       let keys =
         [
           "scenario"; "actions"; "rg_created"; "rg_expanded"; "rg_duplicates";
+          "slrg_cache_hits"; "slrg_suffix_harvested"; "slrg_bound_promoted";
           "search_ms"; "compile_ms"; "plrg_ms"; "slrg_ms"; "rg_ms";
         ]
       in

@@ -2,10 +2,11 @@
 
     Emits one flat JSON object per (scenario, level) pair —
     [{scenario, actions, rg_created, rg_expanded, rg_duplicates,
+    slrg_cache_hits, slrg_suffix_harvested, slrg_bound_promoted,
     search_ms, compile_ms, plrg_ms, slrg_ms, rg_ms}] — collected into a
     JSON array written to [BENCH_rg.json] so the planner's perf
-    trajectory (including the per-phase split) is tracked across
-    commits. *)
+    trajectory (including the per-phase split and the SLRG cache reuse
+    counters) is tracked across commits. *)
 
 type record = {
   scenario : string;  (** e.g. ["Small-C"] *)
@@ -13,10 +14,15 @@ type record = {
   rg_created : int;
   rg_expanded : int;
   rg_duplicates : int;
+  slrg_cache_hits : int;  (** SLRG queries answered from cache *)
+  slrg_suffix_harvested : int;  (** harvested exact cache entries *)
+  slrg_bound_promoted : int;  (** exhausted bounds promoted to exact *)
   search_ms : float;  (** graph phases total (plrg + slrg create + rg) *)
   compile_ms : float;  (** {!Sekitei_core.Planner.phases} [compile.ms] *)
   plrg_ms : float;
-  slrg_ms : float;  (** oracle construction + lazy queries (inside rg) *)
+  slrg_ms : float;
+      (** oracle construction + lazy queries; the queries run {e inside}
+          the RG search, so [slrg_ms] is a subset of [rg_ms] *)
   rg_ms : float;
 }
 
@@ -27,7 +33,7 @@ val measure :
   Sekitei_domains.Media.scenario ->
   record
 
-(** The default tracked set: Tiny-C and Small-C. *)
+(** The default tracked set: Tiny-C, Small-C and Large-C. *)
 val run_default : ?config:Sekitei_core.Planner.config -> unit -> record list
 
 (** Serialize as a JSON array, one record per line.  [tag] adds a

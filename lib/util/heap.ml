@@ -66,6 +66,7 @@ let sift_down h i e =
 
 let add h ~prio ?(prio2 = 0.) value =
   if Float.is_nan prio then invalid_arg "Heap.add: NaN priority";
+  if Float.is_nan prio2 then invalid_arg "Heap.add: NaN secondary priority";
   if h.size = Array.length h.data then grow h;
   let e = { prio; prio2; seq = h.next_seq; value } in
   h.next_seq <- h.next_seq + 1;

@@ -18,7 +18,9 @@ val length : 'a t -> int
 
 (** [add h ~prio ?prio2 x] inserts [x] with priority [prio]; [prio2]
     (default 0) breaks priority ties before insertion order — A* searches
-    pass [-g] to prefer deeper nodes on f-plateaus. *)
+    pass [-g] to prefer deeper nodes on f-plateaus.  Raises
+    [Invalid_argument] when either priority is NaN (a NaN would poison
+    the ordering comparisons and silently corrupt the heap). *)
 val add : 'a t -> prio:float -> ?prio2:float -> 'a -> unit
 
 (** Minimum-priority element, FIFO among ties.  [None] when empty. *)

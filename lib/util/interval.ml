@@ -44,7 +44,11 @@ let sub a b =
   (* Sound enclosure of {x - y}; may contain negative values. *)
   let lo = a.lo -. b.hi and hi = a.hi -. b.lo in
   if Float.is_nan lo || Float.is_nan hi then raise Empty_interval
-  else if lo > hi then { lo = hi; hi = lo }
+  else if lo > hi then
+    (* Unreachable while both operands satisfy the lo <= hi invariant
+       (a.lo - b.hi <= a.hi - b.lo then holds termwise); silently swapping
+       the bounds here would mask a corrupted operand. *)
+    invalid_arg "Interval.sub: operand bounds inverted"
   else { lo; hi }
 
 let scale k i =

@@ -1,0 +1,14 @@
+The machine-readable bench mode writes a schema-valid document and, with
+--check, re-parses it through the JSON schema checker (the `make check`
+entry point); the default tracked set is Tiny-C, Small-C and Large-C:
+
+  $ ../bench/main.exe --json --check --out bench.json
+  bench json: 3 records ok
+
+  $ grep -c '"scenario"' bench.json
+  3
+
+Every record carries the SLRG cache reuse counters:
+
+  $ grep -c '"slrg_cache_hits"' bench.json
+  3

@@ -160,6 +160,70 @@ let test_slrg_budget_fallback_admissible () =
   Alcotest.(check bool) "between plrg and optimum" true
     (v >= Plrg.cost plrg goal -. 1e-9 && v <= 52.45 +. 1e-9)
 
+let test_slrg_cache_hits_counted () =
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  ignore (Slrg.query slrg [ goal ]);
+  Alcotest.(check int) "first query misses" 0 (Slrg.cache_hits slrg);
+  ignore (Slrg.query slrg [ goal ]);
+  Alcotest.(check int) "second query hits" 1 (Slrg.cache_hits slrg)
+
+let test_slrg_bound_escalation () =
+  (* A query_budget:1 oracle starts with only an exhausted bound for the
+     goal set; re-queries escalate the budget geometrically, the answers
+     are monotone non-decreasing (each run keeps the strongest bound),
+     and within the escalation cap the oracle converges to the value a
+     huge-budget oracle computes outright, promoting the cached bound to
+     a solved entry on the way. *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let small = Slrg.create ~query_budget:1 pb plrg in
+  let big = Slrg.create ~query_budget:1_000_000 pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  let exact = Slrg.query big [ goal ] in
+  let prev = ref neg_infinity in
+  let final = ref Float.nan in
+  for _ = 1 to 10 do
+    let v = Slrg.query small [ goal ] in
+    Alcotest.(check bool) "monotone under escalation" true (v >= !prev -. 1e-9);
+    prev := v;
+    final := v
+  done;
+  Alcotest.(check (float 1e-9)) "escalates to the exact value" exact !final;
+  Alcotest.(check bool) "bound promoted to solved" true
+    (Slrg.bound_promoted small >= 1);
+  (* Once solved, further queries are pure cache hits. *)
+  let hits = Slrg.cache_hits small in
+  ignore (Slrg.query small [ goal ]);
+  Alcotest.(check int) "post-promotion query hits cache" (hits + 1)
+    (Slrg.cache_hits small)
+
+let test_slrg_harvest_agrees_with_fresh () =
+  (* Every suffix-harvested solved entry must equal what a fresh,
+     effectively unbounded oracle computes for the same set from
+     scratch — harvesting is a cache fill, not an approximation. *)
+  let pb = tiny Media.C in
+  let plrg = Plrg.build pb in
+  let slrg = Slrg.create pb plrg in
+  let goal = pb.Problem.goal_props.(0) in
+  ignore (Slrg.query slrg [ goal ]);
+  Alcotest.(check bool) "harvested beyond the root" true
+    (Slrg.suffix_harvested slrg > 0);
+  let fresh = Slrg.create ~query_budget:1_000_000 pb plrg in
+  let checked = ref 0 in
+  Slrg.iter_solved slrg (fun set cost ->
+      incr checked;
+      let c = Slrg.query_set fresh (Array.copy set) in
+      let agree =
+        if Float.is_finite cost || Float.is_finite c then
+          Float.abs (c -. cost) <= 1e-6
+        else true
+      in
+      Alcotest.(check bool) "harvested entry agrees" true agree);
+  Alcotest.(check bool) "solved cache non-trivial" true (!checked > 1)
+
 let suite =
   [
     ("plrg init props cost zero", `Quick, test_init_props_cost_zero);
@@ -177,4 +241,7 @@ let suite =
     ("slrg memoized", `Quick, test_slrg_memoized);
     ("slrg unreachable infinite", `Quick, test_slrg_unreachable_infinite);
     ("slrg budget fallback", `Quick, test_slrg_budget_fallback_admissible);
+    ("slrg cache hits counted", `Quick, test_slrg_cache_hits_counted);
+    ("slrg bound escalation", `Quick, test_slrg_bound_escalation);
+    ("slrg harvest agrees with fresh", `Quick, test_slrg_harvest_agrees_with_fresh);
   ]

@@ -68,6 +68,14 @@ let test_nan_rejected () =
   Alcotest.check_raises "nan prio" (Invalid_argument "Heap.add: NaN priority")
     (fun () -> Heap.add h ~prio:Float.nan 1)
 
+let test_nan_prio2_rejected () =
+  (* A NaN tiebreaker would poison [before]'s comparisons just like a NaN
+     primary priority, silently corrupting the heap order. *)
+  let h = Heap.create () in
+  Alcotest.check_raises "nan prio2"
+    (Invalid_argument "Heap.add: NaN secondary priority") (fun () ->
+      Heap.add h ~prio:1. ~prio2:Float.nan 1)
+
 let test_pop_exn () =
   let h = Heap.create () in
   Alcotest.check_raises "pop_exn empty" Not_found (fun () ->
@@ -96,6 +104,7 @@ let suite =
     ("insertions counter", `Quick, test_insertions_counter);
     ("clear", `Quick, test_clear);
     ("nan rejected", `Quick, test_nan_rejected);
+    ("nan prio2 rejected", `Quick, test_nan_prio2_rejected);
     ("pop_exn", `Quick, test_pop_exn);
     ("interleaved", `Quick, test_interleaved);
   ]

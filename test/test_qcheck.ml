@@ -17,6 +17,9 @@ module Plan = Sekitei_core.Plan
 module Replay = Sekitei_core.Replay
 module Compile = Sekitei_core.Compile
 module Problem = Sekitei_core.Problem
+module Plrg = Sekitei_core.Plrg
+module Slrg = Sekitei_core.Slrg
+module Rg = Sekitei_core.Rg
 
 let count = 200
 
@@ -69,6 +72,16 @@ let prop_scale_width =
     (Q.pair arb_interval (Q.float_range 0.1 10.))
     (fun (a, k) ->
       Float.abs (I.width (I.scale k a) -. (k *. I.width a)) < 1e-6)
+
+let prop_interval_ops_wellformed =
+  (* add/sub/scale must return intervals honoring the lo <= hi invariant
+     outright — Interval.sub used to silently swap inverted bounds, which
+     could only mask a corrupted operand. *)
+  Q.Test.make ~count ~name:"add/sub/scale preserve lo <= hi"
+    (Q.triple arb_interval arb_interval (Q.float_range 0. 10.))
+    (fun (a, b, k) ->
+      let ok i = I.lo i <= I.hi i in
+      ok (I.add a b) && ok (I.sub a b) && ok (I.scale k a))
 
 let prop_cutpoints_partition =
   Q.Test.make ~count ~name:"cutpoint levels partition [0,inf)"
@@ -196,9 +209,28 @@ let prop_transit_stub_connected =
 
 (* ---------------- planner soundness on random instances ---------------- *)
 
-(* Random 3-node line networks with random bandwidths and CPU; whenever
-   the planner returns a plan it must replay from the initial state and
-   deliver the demand. *)
+(* Random 3-node line networks with random bandwidths and CPU, shared by
+   the end-to-end planner properties below. *)
+let media_line_instance (bw1, bw2, cpu, demand) =
+  let topo =
+    T.make
+      ~nodes:(List.init 3 (fun i -> T.node ~cpu i (Printf.sprintf "n%d" i)))
+      ~links:[ T.link ~bw:bw1 T.Lan 0 0 1; T.link ~bw:bw2 T.Wan 1 1 2 ]
+  in
+  let app = Media.app ~demand ~server:0 ~client:2 () in
+  let leveling =
+    Leveling.propagate app
+      (Leveling.with_iface Leveling.empty "M" "ibw"
+         [ demand; demand +. 10.; 150. ])
+  in
+  (topo, app, leveling)
+
+let arb_instance =
+  Q.quad (Q.float_range 20. 160.) (Q.float_range 20. 160.)
+    (Q.float_range 5. 60.) (Q.float_range 30. 110.)
+
+(* Whenever the planner returns a plan it must replay from the initial
+   state and deliver the demand. *)
 let prop_planner_sound =
   (* A tight RG budget keeps pathological random instances cheap; a
      budget-exceeded outcome counts as "no plan", which the property
@@ -206,21 +238,10 @@ let prop_planner_sound =
   let config =
     { Planner.default_config with Planner.rg_max_expansions = 5_000 }
   in
-  Q.Test.make ~count:25 ~name:"planner plans always validate"
-    (Q.quad (Q.float_range 20. 160.) (Q.float_range 20. 160.)
-       (Q.float_range 5. 60.) (Q.float_range 30. 110.))
-    (fun (bw1, bw2, cpu, demand) ->
-      let topo =
-        T.make
-          ~nodes:(List.init 3 (fun i -> T.node ~cpu i (Printf.sprintf "n%d" i)))
-          ~links:[ T.link ~bw:bw1 T.Lan 0 0 1; T.link ~bw:bw2 T.Wan 1 1 2 ]
-      in
-      let app = Media.app ~demand ~server:0 ~client:2 () in
-      let leveling =
-        Leveling.propagate app
-          (Leveling.with_iface Leveling.empty "M" "ibw"
-             [ demand; demand +. 10.; 150. ])
-      in
+  Q.Test.make ~count:25 ~name:"planner plans always validate" arb_instance
+    (fun inst ->
+      let (_, _, _, demand) = inst in
+      let topo, app, leveling = media_line_instance inst in
       let pb = Compile.compile topo app leveling in
       match (Planner.plan (Planner.request ~config topo app ~leveling)).Planner.result with
       | Error _ -> true (* infeasibility is an acceptable outcome *)
@@ -249,20 +270,9 @@ let prop_telemetry_transparent =
     { Planner.default_config with Planner.rg_max_expansions = 5_000 }
   in
   Q.Test.make ~count:15 ~name:"telemetry never changes the outcome"
-    (Q.quad (Q.float_range 20. 160.) (Q.float_range 20. 160.)
-       (Q.float_range 5. 60.) (Q.float_range 30. 110.))
-    (fun (bw1, bw2, cpu, demand) ->
-      let topo =
-        T.make
-          ~nodes:(List.init 3 (fun i -> T.node ~cpu i (Printf.sprintf "n%d" i)))
-          ~links:[ T.link ~bw:bw1 T.Lan 0 0 1; T.link ~bw:bw2 T.Wan 1 1 2 ]
-      in
-      let app = Media.app ~demand ~server:0 ~client:2 () in
-      let leveling =
-        Leveling.propagate app
-          (Leveling.with_iface Leveling.empty "M" "ibw"
-             [ demand; demand +. 10.; 150. ])
-      in
+    arb_instance
+    (fun inst ->
+      let topo, app, leveling = media_line_instance inst in
       let quiet = Planner.plan (Planner.request ~config topo app ~leveling) in
       let sink, events = Sekitei_telemetry.Telemetry.memory () in
       let telemetry = Sekitei_telemetry.Telemetry.create [ sink ] in
@@ -284,7 +294,103 @@ let prop_telemetry_transparent =
       && s1.Planner.rg_expanded = s2.Planner.rg_expanded
       && s1.Planner.rg_duplicates = s2.Planner.rg_duplicates
       && s1.Planner.slrg_nodes = s2.Planner.slrg_nodes
+      && s1.Planner.slrg_cache_hits = s2.Planner.slrg_cache_hits
+      && s1.Planner.slrg_suffix_harvested = s2.Planner.slrg_suffix_harvested
+      && s1.Planner.slrg_bound_promoted = s2.Planner.slrg_bound_promoted
+      && s1.Planner.order_repaired = s2.Planner.order_repaired
       && events () <> [])
+
+(* ---------------- order repair equals brute force ---------------- *)
+
+let rec insert_everywhere x = function
+  | [] -> [ [ x ] ]
+  | y :: ys ->
+      (x :: y :: ys) :: List.map (fun l -> y :: l) (insert_everywhere x ys)
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | x :: xs -> List.concat_map (insert_everywhere x) (permutations xs)
+
+let shuffle rng l =
+  let a = Array.of_list l in
+  for i = Array.length a - 1 downto 1 do
+    let j = Prng.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  Array.to_list a
+
+(* The backtracking order repair must agree with brute-force search over
+   all permutations of the tail: it finds a feasible execution order
+   exactly when one exists (tails capped at 6 actions, 720 permutations).
+   Both a shuffled feasible plan and a random strict subset of it are
+   checked, exercising the recoverable and unrecoverable polarities. *)
+let prop_repair_equals_bruteforce =
+  let config =
+    { Planner.default_config with Planner.rg_max_expansions = 5_000 }
+  in
+  Q.Test.make ~count:20 ~name:"order repair matches brute-force feasibility"
+    (Q.pair arb_instance (Q.int_range 0 9999))
+    (fun (inst, seed) ->
+      let topo, app, leveling = media_line_instance inst in
+      let pb = Compile.compile topo app leveling in
+      match
+        (Planner.plan (Planner.request ~config topo app ~leveling))
+          .Planner.result
+      with
+      | Error _ -> true
+      | Ok p when List.length p.Plan.steps > 6 -> true
+      | Ok p ->
+          let rng = Prng.create ~seed:(Int64.of_int seed) in
+          let check tail =
+            let feasible =
+              List.exists
+                (fun o -> Result.is_ok (Replay.run pb ~mode:Replay.From_init o))
+                (permutations tail)
+            in
+            match Rg.repair_order pb (shuffle rng tail) with
+            | Some (order, _) ->
+                feasible
+                && Result.is_ok (Replay.run pb ~mode:Replay.From_init order)
+            | None -> not feasible
+          in
+          check p.Plan.steps
+          &&
+          match p.Plan.steps with
+          | [] | [ _ ] -> true
+          | steps ->
+              let drop = Prng.int rng (List.length steps) in
+              check (List.filteri (fun i _ -> i <> drop) steps))
+
+(* ---------------- SLRG suffix harvesting is exact ---------------- *)
+
+(* Every solved cache entry left behind by a planner run — queried roots
+   and suffix-harvested chain sets alike — must equal what a fresh,
+   effectively unbounded oracle computes for that set from scratch. *)
+let prop_slrg_harvest_agrees =
+  Q.Test.make ~count:15 ~name:"SLRG harvested entries agree with fresh oracle"
+    arb_instance
+    (fun inst ->
+      let topo, app, leveling = media_line_instance inst in
+      let pb = Compile.compile topo app leveling in
+      let plrg = Plrg.build pb in
+      if not (Plrg.goals_reachable plrg) then true
+      else begin
+        let slrg = Slrg.create pb plrg in
+        ignore (Rg.search ~max_expansions:2_000 pb plrg slrg);
+        let fresh = Slrg.create ~query_budget:1_000_000 pb plrg in
+        let ok = ref true in
+        Slrg.iter_solved slrg (fun set cost ->
+            let c = Slrg.query_set fresh (Array.copy set) in
+            let agree =
+              if Float.is_finite cost || Float.is_finite c then
+                Float.abs (c -. cost) <= 1e-6
+              else true
+            in
+            if not agree then ok := false);
+        !ok
+      end)
 
 (* ---------------- leveling propagation property ---------------- *)
 
@@ -317,6 +423,7 @@ let suite =
       prop_hull_superset;
       prop_add_sound;
       prop_scale_width;
+      prop_interval_ops_wellformed;
       prop_cutpoints_partition;
       prop_parse_print_roundtrip;
       prop_simplify_preserves;
@@ -327,5 +434,7 @@ let suite =
       prop_transit_stub_connected;
       prop_planner_sound;
       prop_telemetry_transparent;
+      prop_repair_equals_bruteforce;
+      prop_slrg_harvest_agrees;
       prop_propagation_wellformed;
     ]

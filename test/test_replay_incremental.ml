@@ -179,6 +179,10 @@ let test_bench_json_schema () =
     && r.Bench_json.slrg_ms >= 0.
     && r.Bench_json.rg_ms >= 0.
     && r.Bench_json.compile_ms >= 0.);
+  Alcotest.(check bool) "slrg cache counters present and sane" true
+    (r.Bench_json.slrg_cache_hits >= 0
+    && r.Bench_json.slrg_suffix_harvested >= 0
+    && r.Bench_json.slrg_bound_promoted >= 0);
   let tagged = Bench_json.to_json ~tag:"test" [ r; r ] in
   (match Bench_json.validate tagged with
   | Ok n -> Alcotest.(check int) "two records" 2 n
