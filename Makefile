@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-json profile clean
+.PHONY: build test check bench bench-json bench-gate profile clean
 
 build:
 	dune build
@@ -8,11 +8,24 @@ test:
 
 # One-stop verification: build, the full test suite (unit + property +
 # cram), and a fresh machine-readable bench run re-parsed through the
-# JSON schema checker.
+# JSON schema checker and diffed against the checked-in baseline.
 check:
 	dune build
 	dune runtest
-	dune exec bench/main.exe -- --json --check --out /tmp/sekitei_bench_check.json
+	$(MAKE) bench-gate
+
+# Regression gate: rerun the tracked scenarios and fail if any gated
+# metric (search_ms, rg_created, slrg_ms) regressed >200% against
+# BENCH_rg.json.  The timing threshold is deliberately loose — the small
+# scenarios finish in well under a millisecond, where run-to-run noise
+# is large — while rg_created is exactly reproducible, so an algorithmic
+# search-space blowup trips the gate on any hardware.  After an
+# intentional perf change, refresh the baseline with `make bench-json`
+# and commit the BENCH_rg.json diff.
+bench-gate:
+	dune exec bench/main.exe -- --json --check \
+	  --out /tmp/sekitei_bench_gate.json \
+	  --baseline BENCH_rg.json --max-regress 200
 
 # Full benchmark run: every paper exhibit, ablations, microbenchmarks.
 bench:

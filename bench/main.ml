@@ -185,9 +185,17 @@ let microbenches () =
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable mode: --json [--tag TAG] [--out FILE] [--check]    *)
+(*                        [--baseline FILE [--max-regress PCT]]        *)
 (* ------------------------------------------------------------------ *)
 
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
 let json_mode () =
+  let module Bench_json = Sekitei_harness.Bench_json in
   let rec opt_arg flag = function
     | [] | [ _ ] -> None
     | f :: v :: _ when f = flag -> Some v
@@ -197,20 +205,49 @@ let json_mode () =
   let tag = opt_arg "--tag" argv in
   let out = Option.value (opt_arg "--out" argv) ~default:"BENCH_rg.json" in
   let check = List.mem "--check" argv in
-  let doc = Sekitei_harness.Bench_json.(to_json ?tag (run_default ())) in
-  Sekitei_harness.Bench_json.write_file out doc;
-  if check then
-    (* Deterministic output for the cram suite: re-parse what was written
-       and report only the record count. *)
-    match Sekitei_harness.Bench_json.parse_check doc with
-    | Ok n -> Printf.printf "bench json: %d records ok\n" n
-    | Error e ->
-        Printf.eprintf "bench json: %s\n" e;
-        exit 1
-  else begin
-    print_string doc;
-    Printf.eprintf "wrote %s\n" out
-  end
+  let baseline = opt_arg "--baseline" argv in
+  let max_regress =
+    match opt_arg "--max-regress" argv with
+    | None -> 50.
+    | Some s -> (
+        match float_of_string_opt s with
+        | Some v -> v
+        | None ->
+            Printf.eprintf "bench json: bad --max-regress %S\n" s;
+            exit 2)
+  in
+  let records = Bench_json.run_default () in
+  let doc = Bench_json.to_json ?tag records in
+  Bench_json.write_file out doc;
+  (if check then
+     (* Deterministic output for the cram suite: re-parse what was written
+        and report only the record count. *)
+     match Bench_json.parse_check doc with
+     | Ok n -> Printf.printf "bench json: %d records ok\n" n
+     | Error e ->
+         Printf.eprintf "bench json: %s\n" e;
+         exit 1
+   else begin
+     print_string doc;
+     Printf.eprintf "wrote %s\n" out
+   end);
+  match baseline with
+  | None -> ()
+  | Some path -> (
+      match Bench_json.diff_baseline ~baseline:(read_file path) records with
+      | Error e ->
+          Printf.eprintf "bench json: %s\n" e;
+          exit 1
+      | Ok deltas -> (
+          if not check then print_string (Bench_json.render_deltas deltas);
+          match Bench_json.regressions ~max_regress deltas with
+          | [] ->
+              Printf.printf "bench gate: ok (max regress %.0f%%)\n" max_regress
+          | bad ->
+              Printf.printf "bench gate: %d metric(s) regressed >%.0f%%:\n"
+                (List.length bad) max_regress;
+              print_string (Bench_json.render_deltas bad);
+              exit 1))
 
 let () =
   if Array.exists (fun a -> a = "--json") Sys.argv then json_mode ()

@@ -88,6 +88,20 @@ let progress_arg =
              size, best f) to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let explain_arg =
+  let doc = "Explain the outcome.  For a plan: per-action cost \
+             contributions, chosen levels, and the binding resource \
+             constraint (with slack) of every step.  For a failure: an \
+             unsolvability certificate (pruned proposition chain, or the \
+             best-f frontier of an out-of-budget search)." in
+  Arg.(value & flag & info [ "explain" ] ~doc)
+
+let hquality_arg =
+  let doc = "Profile heuristic quality: record h(n) along the solution \
+             path and report per-phase error percentiles, admissibility \
+             violations, and the wasted-work ratio." in
+  Arg.(value & flag & info [ "hquality" ] ~doc)
+
 (* Assemble the run's telemetry handle from --trace/--progress; returns the
    handle and a finalizer that flushes and closes the sinks. *)
 let telemetry_of trace progress =
@@ -129,10 +143,12 @@ let scenario_of = function
   | `Small -> Scenarios.small ()
   | `Large -> Scenarios.large ()
 
-let config_of rg slrg =
+let config_of ?(explain = false) ?(profile_h = false) rg slrg =
   { Planner.default_config with
     Planner.rg_max_expansions = rg;
-    slrg_query_budget = slrg }
+    slrg_query_budget = slrg;
+    explain;
+    profile_h }
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -166,15 +182,27 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
             v)
         m.Replay.delivered
   | Error r -> Format.printf "No plan: %a@." Planner.pp_failure_reason r);
+  (match report.Planner.explanation with
+  | Some ex ->
+      Format.printf "Explanation:@.%s" (Sekitei_core.Explain.render ex)
+  | None -> ());
+  (match report.Planner.certificate with
+  | Some c ->
+      Format.printf "Certificate:@.%s" (Sekitei_core.Explain.render_certificate c)
+  | None -> ());
+  (match Sekitei_harness.Hquality.of_report report with
+  | Some hq ->
+      Format.printf "Heuristic quality:@.%s" (Sekitei_harness.Hquality.render hq)
+  | None -> ());
   Format.printf "Stats: %a@." Planner.pp_stats report.Planner.stats;
   Format.printf "Phases: %a@." Planner.pp_phases report.Planner.phases;
   match report.Planner.result with Ok _ -> 0 | Error _ -> 1
 
 let plan_cmd =
   let run spec network levels seed rg slrg dot_file audit suggest trace
-      progress verbose =
+      progress explain hquality verbose =
     setup_logs verbose;
-    let config = config_of rg slrg in
+    let config = config_of ~explain ~profile_h:hquality rg slrg in
     let telemetry, finish_telemetry = telemetry_of trace progress in
     let code =
       match spec with
@@ -224,7 +252,7 @@ let plan_cmd =
     Term.(
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
       $ slrg_budget_arg $ deployment_dot_arg $ audit_arg $ suggest_arg
-      $ trace_arg $ progress_arg $ verbose_arg)
+      $ trace_arg $ progress_arg $ explain_arg $ hquality_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
 

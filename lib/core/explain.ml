@@ -1,0 +1,264 @@
+module I = Sekitei_util.Interval
+module Table = Sekitei_util.Ascii_table
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+
+type binding = {
+  resource : string;
+  location : string;
+  capacity : float;
+  step_used : float;
+  total_used : float;
+  slack : float;
+}
+
+type step = {
+  index : int;
+  label : string;
+  cost_lb : float;
+  realized_cost : float;
+  levels : (string * I.t) list;
+  binding : binding option;
+}
+
+type t = { steps : step list; plan_cost : float; realized_cost : float }
+
+let node_name (pb : Problem.t) n =
+  (Topology.get_node pb.topo n).Topology.node_name
+
+let link_location (pb : Problem.t) l =
+  let link = Topology.get_link pb.topo l in
+  let a, b = link.Topology.ends in
+  Printf.sprintf "%s-%s (%s)" (node_name pb a) (node_name pb b)
+    (match link.Topology.kind with Topology.Lan -> "LAN" | Topology.Wan -> "WAN")
+
+(* The level assignment shown for an action: the interfaces it produces
+   (its output row of the optimistic resource map), falling back to the
+   consumed interfaces for pure sinks like the client placement. *)
+let levels_of (pb : Problem.t) (a : Action.t) =
+  let named arr =
+    Array.to_list arr
+    |> List.map (fun (i, ivl) -> (pb.Problem.ifaces.(i).Model.iface_name, ivl))
+  in
+  match named a.Action.out_levels with [] -> named a.Action.in_levels | ls -> ls
+
+let assoc_amount key l = Option.value (List.assoc_opt key l) ~default:0.
+
+(* Per-pool consumption of a metrics snapshot, keyed the way the binding
+   constraint of each action kind needs it. *)
+let cpu_at (m : Replay.metrics) node = assoc_amount node m.Replay.node_cpu_used
+let lbw_at (m : Replay.metrics) link = assoc_amount link m.Replay.link_used
+
+let explain (pb : Problem.t) (plan : Plan.t) =
+  let rec replay rs acc = function
+    | [] -> Ok (List.rev acc, rs)
+    | (a : Action.t) :: rest -> (
+        match Replay.extend pb ~mode:Replay.From_init rs a with
+        | Error f -> Error (Format.asprintf "%a" Replay.pp_failure f)
+        | Ok rs' ->
+            let before = Replay.rstate_metrics pb rs
+            and after = Replay.rstate_metrics pb rs' in
+            let realized =
+              Replay.rstate_cost rs' -. Replay.rstate_cost rs
+            in
+            replay rs' ((a, realized, before, after) :: acc) rest)
+  in
+  match replay (Replay.initial pb) [] plan.Plan.steps with
+  | Error _ as e -> e
+  | Ok (trace, final_rs) ->
+      let final = Replay.rstate_metrics pb final_rs in
+      let binding_of (a : Action.t) before after =
+        match a.Action.kind with
+        | Action.Place { node; _ } ->
+            let capacity = Problem.node_cap pb node "cpu" in
+            if capacity <= 0. then None
+            else
+              let total_used = cpu_at final node in
+              Some
+                {
+                  resource = "cpu";
+                  location = node_name pb node;
+                  capacity;
+                  step_used = cpu_at after node -. cpu_at before node;
+                  total_used;
+                  slack = capacity -. total_used;
+                }
+        | Action.Cross { link; _ } ->
+            let capacity = Problem.link_cap pb link "lbw" in
+            if capacity <= 0. then None
+            else
+              let total_used = lbw_at final link in
+              Some
+                {
+                  resource = "lbw";
+                  location = link_location pb link;
+                  capacity;
+                  step_used = lbw_at after link -. lbw_at before link;
+                  total_used;
+                  slack = capacity -. total_used;
+                }
+      in
+      let steps =
+        List.mapi
+          (fun index ((a : Action.t), realized, before, after) ->
+            {
+              index;
+              label = a.Action.label;
+              cost_lb = a.Action.cost_lb;
+              realized_cost = realized;
+              levels = levels_of pb a;
+              binding = binding_of a before after;
+            })
+          trace
+      in
+      (* Sum in the search's accumulation order (regression prepends, so
+         g added the last-executed action's cost first): the total then
+         equals [Plan.cost_lb] bit for bit. *)
+      let plan_cost =
+        List.fold_left (fun acc s -> acc +. s.cost_lb) 0. (List.rev steps)
+      in
+      Ok { steps; plan_cost; realized_cost = final.Replay.realized_cost }
+
+let level_cell levels =
+  String.concat " "
+    (List.map (fun (name, ivl) -> name ^ I.to_string ivl) levels)
+
+let render t =
+  let tbl =
+    Table.create
+      ~aligns:
+        [
+          Table.Right; Table.Left; Table.Right; Table.Right; Table.Left;
+          Table.Left; Table.Right; Table.Right; Table.Right;
+        ]
+      [
+        "#"; "action"; "cost lb"; "realized"; "levels"; "binding"; "cap";
+        "used"; "slack";
+      ]
+  in
+  List.iter
+    (fun s ->
+      let binding, cap, used, slack =
+        match s.binding with
+        | None -> ("-", "-", "-", "-")
+        | Some b ->
+            ( Printf.sprintf "%s@%s" b.resource b.location,
+              Table.float_cell b.capacity,
+              Table.float_cell b.total_used,
+              Table.float_cell b.slack )
+      in
+      Table.add_row tbl
+        [
+          string_of_int s.index;
+          s.label;
+          Table.float_cell s.cost_lb;
+          Table.float_cell s.realized_cost;
+          level_cell s.levels;
+          binding;
+          cap;
+          used;
+          slack;
+        ])
+    t.steps;
+  Table.add_separator tbl;
+  Table.add_row tbl
+    [
+      "";
+      "total";
+      Table.float_cell t.plan_cost;
+      Table.float_cell t.realized_cost;
+      "";
+      "";
+      "";
+      "";
+      "";
+    ];
+  Table.render tbl
+
+(* ------------------------------------------------------------------ *)
+(* Unsolvability certificates                                          *)
+(* ------------------------------------------------------------------ *)
+
+type certificate =
+  | Unreachable_cut of { goal : string; cut : string; chain : string list }
+  | Search_frontier of {
+      best_f : float;
+      tail : string list;
+      unmet : string list;
+    }
+
+(* Walk the support chain of an infinite-cost proposition down to the
+   proposition that actually got pruned: one with no supporting action at
+   all, or whose only infinite-cost preconditions were already visited
+   (cyclic support — equally unachievable from the initial state).  Every
+   supporting action of an infinite-cost proposition must itself carry an
+   infinite-cost precondition, so the walk always makes progress until
+   one of those two terminal cases. *)
+let cut_chain (pb : Problem.t) plrg goal_prop =
+  let visited = Hashtbl.create 16 in
+  let rec go p acc depth =
+    Hashtbl.replace visited p ();
+    let acc = p :: acc in
+    if depth > 100 then acc
+    else
+      let next =
+        List.find_map
+          (fun aid ->
+            let a = pb.Problem.actions.(aid) in
+            Array.fold_left
+              (fun found q ->
+                match found with
+                | Some _ -> found
+                | None ->
+                    if
+                      (not (Hashtbl.mem visited q))
+                      && not (Float.is_finite (Plrg.cost plrg q))
+                    then Some q
+                    else None)
+              None a.Action.pre)
+          pb.Problem.supports.(p)
+      in
+      match next with None -> acc | Some q -> go q acc (depth + 1)
+  in
+  List.rev_map (Problem.prop_label pb) (go goal_prop [] 0)
+
+let unreachable_certificate (pb : Problem.t) plrg =
+  match Plrg.unreachable_goals plrg with
+  | [] -> None
+  | goal :: _ ->
+      let chain = cut_chain pb plrg goal in
+      let cut =
+        match List.rev chain with c :: _ -> c | [] -> assert false
+      in
+      Some
+        (Unreachable_cut { goal = Problem.prop_label pb goal; cut; chain })
+
+let frontier_certificate (pb : Problem.t) ~best_f (fr : Rg.frontier) =
+  Search_frontier
+    {
+      best_f;
+      tail = List.map (fun (a : Action.t) -> a.Action.label) fr.Rg.f_tail;
+      unmet =
+        Array.to_list fr.Rg.f_pending |> List.map (Problem.prop_label pb);
+    }
+
+let render_certificate = function
+  | Unreachable_cut { goal; cut; chain } ->
+      Printf.sprintf
+        "unsolvable: goal %s is logically unreachable\n\
+        \  first goal-relevant proposition pruned by the PLRG: %s\n\
+        \  support chain: %s\n"
+        goal cut
+        (String.concat " <- " chain)
+  | Search_frontier { best_f; tail; unmet } ->
+      let bullet prefix = function
+        | [] -> prefix ^ " (none)\n"
+        | items ->
+            prefix ^ "\n"
+            ^ String.concat ""
+                (List.map (fun s -> "    " ^ s ^ "\n") items)
+      in
+      Printf.sprintf
+        "search budget exhausted: best frontier bound f = %g\n%s%s" best_f
+        (bullet "  best-f node actions:" tail)
+        (bullet "  unmet preconditions:" unmet)

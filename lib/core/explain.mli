@@ -1,0 +1,85 @@
+(** Plan explanations and unsolvability certificates.
+
+    The paper's claim is that the leveled regression search returns
+    {e cost-optimal} throttled deployments; this module makes the claim
+    inspectable.  For a solved run, {!explain} derives from the final
+    plan a per-action account — cost-lower-bound contribution (the
+    quantity the A* optimized; the column total is exactly
+    [Plan.cost_lb]), realized cost at the operating points, the chosen
+    level assignment, and the binding resource constraint of the step
+    (node CPU for [place], link bandwidth for [cross]) with its
+    remaining slack.  For a failed run, {!unreachable_certificate} and
+    {!frontier_certificate} name the evidence: the first goal-relevant
+    proposition the PLRG pruned (with its support chain back to a goal),
+    or the best-f frontier node of an out-of-budget search with its
+    unmet preconditions. *)
+
+module I = Sekitei_util.Interval
+
+(** The binding resource constraint of one step: the capacity pool the
+    action draws from, what the step itself consumed, what the whole
+    deployment ends up consuming, and the remaining slack
+    ([capacity - total_used]). *)
+type binding = {
+  resource : string;  (** ["cpu"] for placements, ["lbw"] for crossings *)
+  location : string;  (** node name, or ["src-dst (kind)"] for a link *)
+  capacity : float;
+  step_used : float;  (** this action's own consumption *)
+  total_used : float;  (** deployment total on this pool *)
+  slack : float;
+}
+
+type step = {
+  index : int;  (** execution position, 0-based *)
+  label : string;  (** action label, e.g. ["place(Splitter,n0)"] *)
+  cost_lb : float;  (** admissible contribution (cost at level infima) *)
+  realized_cost : float;  (** contribution at the operating points *)
+  levels : (string * I.t) list;
+      (** chosen level assignment: produced interfaces and their
+          intervals (consumed ones when the action produces nothing) *)
+  binding : binding option;
+}
+
+type t = {
+  steps : step list;  (** execution order *)
+  plan_cost : float;
+      (** sum of the [cost_lb] column, accumulated in the same order as
+          the search's [g] so it equals [Plan.cost_lb] {e exactly} *)
+  realized_cost : float;
+}
+
+(** [explain pb plan] replays the plan from the initial state and
+    tabulates.  [Error reason] when the plan does not replay (a planner
+    bug — validated plans always replay). *)
+val explain : Problem.t -> Plan.t -> (t, string) result
+
+(** Render as an aligned ASCII table, one row per action plus a totals
+    row. *)
+val render : t -> string
+
+(** Why a run failed, with evidence. *)
+type certificate =
+  | Unreachable_cut of {
+      goal : string;  (** the unreachable goal proposition *)
+      cut : string;
+          (** the first goal-relevant proposition pruned by the PLRG:
+              end of the support chain — no supporting action at all,
+              or only cyclic support *)
+      chain : string list;
+          (** support chain from [goal] down to [cut], inclusive *)
+    }
+  | Search_frontier of {
+      best_f : float;  (** admissible bound on any remaining plan *)
+      tail : string list;  (** best-f node's action labels *)
+      unmet : string list;  (** its pending (unmet) propositions *)
+    }
+
+(** Certificate for a {!Plrg}-proven unreachable goal; [None] when every
+    goal is reachable. *)
+val unreachable_certificate : Problem.t -> Plrg.t -> certificate option
+
+(** Certificate for an out-of-budget search, from the frontier evidence
+    {!Rg.search} returns with [Budget_exceeded]. *)
+val frontier_certificate : Problem.t -> best_f:float -> Rg.frontier -> certificate
+
+val render_certificate : certificate -> string

@@ -13,10 +13,18 @@ type config = {
   slrg_query_budget : int;
   rg_max_expansions : int;
   validate_spec : bool;
+  explain : bool;
+  profile_h : bool;
 }
 
 let default_config =
-  { slrg_query_budget = 500; rg_max_expansions = 500_000; validate_spec = true }
+  {
+    slrg_query_budget = 500;
+    rg_max_expansions = 500_000;
+    validate_spec = true;
+    explain = false;
+    profile_h = false;
+  }
 
 type failure_reason =
   | Invalid_spec of string
@@ -72,6 +80,9 @@ type report = {
   result : (Plan.t, failure_reason) Stdlib.result;
   phases : phases;
   stats : stats;
+  explanation : Explain.t option;
+  certificate : Explain.certificate option;
+  hquality : Rg.hsample list option;
 }
 
 let empty_stats =
@@ -110,12 +121,13 @@ let plan ?adjust (req : request) =
   let { topo; app; leveling; config; telemetry } = req in
   let t_total = Timer.start () in
   let sp_plan = Telemetry.begin_span telemetry "plan" in
-  let finish ?(phases = empty_phases) result stats =
+  let finish ?(phases = empty_phases) ?explanation ?certificate ?hquality
+      result stats =
     Telemetry.flush_counters telemetry;
     ignore
       (Telemetry.end_span telemetry sp_plan
          ~attrs:[ ("ok", Telemetry.Bool (Result.is_ok result)) ]);
-    { result; phases; stats }
+    { result; phases; stats; explanation; certificate; hquality }
   in
   let invalid msg = finish (Error (Invalid_spec msg)) empty_stats in
   match
@@ -213,8 +225,13 @@ let plan ?adjust (req : request) =
               Plrg.unreachable_goals plrg
               |> List.map (Problem.prop_label pb)
             in
+            let certificate =
+              if config.explain then Explain.unreachable_certificate pb plrg
+              else None
+            in
             finish
               ~phases:(base_phases ())
+              ?certificate
               (Error (Unreachable_goal unreachable))
               (base_stats (Timer.elapsed_ms t_search) None None)
           end
@@ -226,9 +243,10 @@ let plan ?adjust (req : request) =
             in
             let slrg_create_ms = Telemetry.end_span telemetry sp_slrg in
             let sp_rg = Telemetry.begin_span telemetry "rg" in
+            let profile = if config.profile_h then Some (ref []) else None in
             let result, rg_stats =
-              Rg.search ~max_expansions:config.rg_max_expansions ~telemetry pb
-                plrg slrg
+              Rg.search ~max_expansions:config.rg_max_expansions ?profile
+                ~telemetry pb plrg slrg
             in
             let rg_ms =
               Telemetry.end_span telemetry sp_rg
@@ -263,17 +281,44 @@ let plan ?adjust (req : request) =
                   }
                 ~rg_ms ~rg_items:rg_stats.Rg.created ()
             in
+            let hquality =
+              match profile with
+              | None -> None
+              | Some samples ->
+                  let n = List.length !samples in
+                  if Telemetry.enabled telemetry then begin
+                    Telemetry.count telemetry "hq.path_nodes" n;
+                    Telemetry.count telemetry "hq.wasted_expansions"
+                      (Stdlib.max 0 (rg_stats.Rg.expanded - n))
+                  end;
+                  Some !samples
+            in
             match result with
             | Rg.Solution (tail, metrics, cost_lb) ->
                 Log.info (fun m ->
                     m "solution: %d actions, cost bound %g, realized %g"
                       (List.length tail) cost_lb metrics.Replay.realized_cost);
-                finish ~phases
-                  (Ok { Plan.steps = tail; cost_lb; metrics })
+                let plan = { Plan.steps = tail; cost_lb; metrics } in
+                let explanation =
+                  if config.explain then
+                    match Explain.explain pb plan with
+                    | Ok e -> Some e
+                    | Error _ -> None
+                  else None
+                in
+                finish ~phases ?explanation ?hquality (Ok plan) stats
+            | Rg.Exhausted ->
+                finish ~phases ?hquality (Error Resource_exhausted) stats
+            | Rg.Budget_exceeded { expansions; best_f; frontier } ->
+                let certificate =
+                  match frontier with
+                  | Some fr when config.explain ->
+                      Some (Explain.frontier_certificate pb ~best_f fr)
+                  | _ -> None
+                in
+                finish ~phases ?certificate ?hquality
+                  (Error (Search_limit { expansions; best_f }))
                   stats
-            | Rg.Exhausted -> finish ~phases (Error Resource_exhausted) stats
-            | Rg.Budget_exceeded { expansions; best_f } ->
-                finish ~phases (Error (Search_limit { expansions; best_f })) stats
           end)
 
 let solve ?config ?adjust topo app leveling =

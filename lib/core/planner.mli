@@ -14,6 +14,14 @@ type config = {
   slrg_query_budget : int;  (** set-node budget per SLRG query *)
   rg_max_expansions : int;
   validate_spec : bool;  (** run {!Sekitei_spec.Validate} first *)
+  explain : bool;
+      (** derive a {!Explain.t} for solved runs and a
+          {!Explain.certificate} for failed ones (default [false];
+          costs one extra from-init replay of the final plan) *)
+  profile_h : bool;
+      (** record heuristic-quality samples ({!Rg.hsample}) along the
+          solution path (default [false]; adds a PLRG sweep per queued
+          RG node, so leave off when benchmarking) *)
 }
 
 val default_config : config
@@ -108,6 +116,16 @@ type report = {
       (** per-phase timings are measured monotonically even with the null
           telemetry; phases not reached report [{ ms = 0.; items = 0 }] *)
   stats : stats;
+  explanation : Explain.t option;
+      (** per-action cost/level/slack account; [Some] iff
+          [config.explain] and the run solved *)
+  certificate : Explain.certificate option;
+      (** unsolvability evidence; [Some] iff [config.explain] and the
+          run failed with {!Unreachable_goal} or {!Search_limit} *)
+  hquality : Rg.hsample list option;
+      (** solution-path heuristic samples, root first; [Some] iff
+          [config.profile_h] (empty list when no solution was found) —
+          analyze with [Sekitei_harness.Hquality] *)
 }
 
 (** Run the planner on a request.  [adjust] is forwarded to

@@ -12,10 +12,17 @@ type stats = {
   order_repaired : int;
 }
 
+type hsample = { set_size : int; g : float; h_slrg : float; h_plrg : float }
+type frontier = { f_tail : Action.t list; f_pending : int array }
+
 type result =
   | Solution of Action.t list * Replay.metrics * float
   | Exhausted
-  | Budget_exceeded of { expansions : int; best_f : float }
+  | Budget_exceeded of {
+      expansions : int;
+      best_f : float;
+      frontier : frontier option;
+    }
 
 type node = {
   tail : Action.t list;  (** plan suffix, execution order *)
@@ -25,6 +32,10 @@ type node = {
   rs : Replay.rstate;
       (** optimistic replay state of the suffix, built incrementally in
           regression order (one [Replay.extend] per search edge) *)
+  mutable chain : hsample list;
+      (** under [?profile]: this node's h-quality sample consed onto its
+          ancestors' (leaf first); [[]] when profiling is off.  Set by
+          [push] once the SLRG heuristic is known. *)
 }
 
 (* Duplicate-detection key: canonical pending set plus the set of action
@@ -111,7 +122,7 @@ let repair_order ?(max_steps = 20_000) pb tail =
   | Repaired (tail', metrics) -> Some (tail', metrics)
   | Infeasible | Gave_up -> None
 
-let search ?(max_expansions = 500_000) ?(dedup = true)
+let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
     ?(telemetry = Telemetry.null) (pb : Problem.t) plrg slrg =
   let progress_interval = Telemetry.progress_interval telemetry in
   let created = ref 0
@@ -143,6 +154,12 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
      drain the pool alone. *)
   let repair_pool = ref 500_000 in
   let heap = Heap.create () in
+  (* PLRG h_max of a pending set: the per-proposition heuristic the SLRG
+     refines.  Recorded next to h_slrg so the profiler can attribute
+     heuristic error to either phase. *)
+  let h_plrg set =
+    Array.fold_left (fun acc p -> Float.max acc (Plrg.cost plrg p)) 0. set
+  in
   let push node =
     let h = Slrg.query_set slrg node.set in
     if Float.is_finite h then begin
@@ -162,6 +179,17 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
       in
       if keep then begin
         incr created;
+        (match profile with
+        | None -> ()
+        | Some _ ->
+            node.chain <-
+              {
+                set_size = Array.length node.set;
+                g = node.g;
+                h_slrg = h;
+                h_plrg = h_plrg node.set;
+              }
+              :: node.chain);
         Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) node
       end
     end
@@ -173,6 +201,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
       g = 0.;
       acts = Iset.empty;
       rs = Replay.initial pb;
+      chain = [];
     };
   let finish result =
     if Telemetry.enabled telemetry then begin
@@ -195,12 +224,25 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
         order_repaired = !order_repaired;
       } )
   in
+  let solution node tail metrics =
+    (match profile with
+    | None -> ()
+    | Some out -> out := List.rev node.chain);
+    finish (Solution (tail, metrics, node.g))
+  in
   let rec loop () =
     match Heap.pop heap with
     | None -> finish Exhausted
     | Some (node, f) ->
         if !expanded >= max_expansions then
-          finish (Budget_exceeded { expansions = !expanded; best_f = f })
+          finish
+            (Budget_exceeded
+               {
+                 expansions = !expanded;
+                 best_f = f;
+                 frontier =
+                   Some { f_tail = node.tail; f_pending = node.set };
+               })
         else begin
           incr expanded;
           if progress_interval > 0 && !expanded mod progress_interval = 0 then
@@ -223,7 +265,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
               match
                 Replay.run ~telemetry pb ~mode:Replay.From_init node.tail
               with
-              | Ok metrics -> finish (Solution (node.tail, metrics, node.g))
+              | Ok metrics -> solution node node.tail metrics
               | Error _ when !repair_pool <= 0 ->
                   incr final_rejected;
                   loop ()
@@ -240,7 +282,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
                   match outcome with
                   | Repaired (tail', metrics) ->
                       incr order_repaired;
-                      finish (Solution (tail', metrics, node.g))
+                      solution node tail' metrics
                   | Infeasible ->
                       Hashtbl.replace repair_failed akey ();
                       incr final_rejected;
@@ -264,6 +306,7 @@ let search ?(max_expansions = 500_000) ?(dedup = true)
                           g = node.g +. a.Action.cost_lb;
                           acts = Iset.add aid node.acts;
                           rs = rs';
+                          chain = node.chain;
                         }
                 end)
               (Supports.candidates supports node.set);

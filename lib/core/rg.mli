@@ -44,13 +44,30 @@ type stats = {
           {!repair_order} *)
 }
 
+(** One heuristic-quality sample, recorded (under [?profile]) for every
+    node on the ancestor chain of the accepted solution: the node's
+    pending-set size, its path cost [g], the SLRG heuristic the search
+    queued it with, and the PLRG h_max value of the same pending set.
+    Against the solution cost [C*], the realized cost-to-go of the node
+    is [C* - g]; admissibility demands [h <= C* - g] for both columns. *)
+type hsample = { set_size : int; g : float; h_slrg : float; h_plrg : float }
+
+(** The best-f open node at budget exhaustion: its tail (execution
+    order) and the propositions it still had to achieve — the evidence
+    behind a {!Sekitei_core.Planner.failure_reason.Search_limit}
+    explanation. *)
+type frontier = { f_tail : Action.t list; f_pending : int array }
+
 type result =
   | Solution of Action.t list * Replay.metrics * float  (** tail, metrics, cost bound *)
   | Exhausted  (** no resource-feasible plan (the scenario-A verdict) *)
-  | Budget_exceeded of { expansions : int; best_f : float }
-      (** expansion budget hit; [best_f] is the f-value of the best open
-          node at termination — an admissible lower bound on any plan a
-          longer search could still find *)
+  | Budget_exceeded of {
+      expansions : int;
+      best_f : float;  (** admissible lower bound on any plan a longer
+                           search could still find *)
+      frontier : frontier option;
+          (** the node whose pop hit the budget (carries [best_f]) *)
+    }
 
 (** Re-sequence a candidate tail (an action set in some infeasible order)
     into an order that replays from the true initial state, by depth-first
@@ -70,6 +87,13 @@ val repair_order :
     exposed so tests can assert that pruning never changes the returned
     plan cost.
 
+    [profile], when given, turns on heuristic-quality recording: every
+    queued node carries its (set size, g, h) sample chained to its
+    ancestors', and on [Solution] the ref receives the accepted node's
+    chain, root first.  Per queued node the overhead is one PLRG h_max
+    sweep over the pending set and one cons; when absent the search pays
+    a single [None] branch per push.
+
     [telemetry] emits a periodic ["rg"] progress heartbeat (every
     {!Sekitei_telemetry.Telemetry.progress_interval} expansions: open-list
     size, best f, expansions, duplicates), counts search totals
@@ -79,6 +103,7 @@ val repair_order :
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->
+  ?profile:hsample list ref ->
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
   Problem.t ->
   Plrg.t ->

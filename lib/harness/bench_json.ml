@@ -183,3 +183,104 @@ let parse_check doc =
 let write_file path doc =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)
+
+(* ------------------------------------------------------------------ *)
+(* Baseline regression diff                                            *)
+(* ------------------------------------------------------------------ *)
+
+type delta = {
+  d_scenario : string;
+  d_metric : string;
+  d_base : float;
+  d_cur : float;
+  d_pct : float;
+}
+
+(* The gated metrics: RG search wall time, RG nodes created (exactly
+   reproducible — it catches search-space blowups that a fast machine
+   would hide), and the SLRG share of the search. *)
+let gated_metrics = [ "search_ms"; "rg_created"; "slrg_ms" ]
+
+let metric_of_record r = function
+  | "search_ms" -> r.search_ms
+  | "rg_created" -> float_of_int r.rg_created
+  | "slrg_ms" -> r.slrg_ms
+  | m -> invalid_arg ("Bench_json.metric_of_record: " ^ m)
+
+let diff_baseline ~baseline records =
+  match Json.of_string baseline with
+  | Error e -> Error ("baseline: " ^ e)
+  | Ok (Json.List rows) -> (
+      let lookup scenario =
+        List.find_opt
+          (fun row ->
+            match Json.member "scenario" row with
+            | Some (Json.Str s) -> String.equal s scenario
+            | _ -> false)
+          rows
+      in
+      let diff_record r =
+        match lookup r.scenario with
+        | None -> Error (Printf.sprintf "baseline has no record for %s" r.scenario)
+        | Some row ->
+            let rec go acc = function
+              | [] -> Ok (List.rev acc)
+              | m :: rest -> (
+                  match Option.bind (Json.member m row) Json.to_float with
+                  | None ->
+                      Error
+                        (Printf.sprintf "baseline %s: bad or missing %s"
+                           r.scenario m)
+                  | Some base ->
+                      let cur = metric_of_record r m in
+                      let pct =
+                        if base > 0. then (cur -. base) /. base *. 100.
+                        else if cur > 0. then Float.infinity
+                        else 0.
+                      in
+                      go
+                        ({
+                           d_scenario = r.scenario;
+                           d_metric = m;
+                           d_base = base;
+                           d_cur = cur;
+                           d_pct = pct;
+                         }
+                        :: acc)
+                        rest)
+            in
+            go [] gated_metrics
+      in
+      let rec all acc = function
+        | [] -> Ok (List.concat (List.rev acc))
+        | r :: rest -> (
+            match diff_record r with
+            | Ok ds -> all (ds :: acc) rest
+            | Error _ as e -> e)
+      in
+      all [] records)
+  | Ok _ -> Error "baseline: not a JSON array"
+
+let regressions ~max_regress deltas =
+  List.filter (fun d -> d.d_pct > max_regress) deltas
+
+let render_deltas deltas =
+  let module Table = Sekitei_util.Ascii_table in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "scenario"; "metric"; "baseline"; "current"; "delta %" ]
+  in
+  List.iter
+    (fun d ->
+      Table.add_row t
+        [
+          d.d_scenario;
+          d.d_metric;
+          Table.float_cell d.d_base;
+          Table.float_cell d.d_cur;
+          (if Float.is_finite d.d_pct then Printf.sprintf "%+.1f" d.d_pct
+           else "+inf");
+        ])
+    deltas;
+  Table.render t

@@ -49,3 +49,37 @@ val validate : string -> (int, string) result
 val parse_check : string -> (int, string) result
 
 val write_file : string -> string -> unit
+
+(** {1 Baseline regression gate}
+
+    [bench --json --baseline BENCH_rg.json --max-regress PCT] diffs the
+    current run against the checked-in baseline and exits non-zero when
+    any gated metric regressed by more than [PCT] percent.  The gated
+    metrics are [search_ms], [rg_created] and [slrg_ms]; [rg_created] is
+    machine-independent, so a search-space blowup trips the gate even on
+    hardware fast enough to hide it in the timings. *)
+
+(** One (scenario, metric) comparison.  [d_pct] is the relative change
+    in percent, positive when the current run is worse (higher). *)
+type delta = {
+  d_scenario : string;
+  d_metric : string;
+  d_base : float;
+  d_cur : float;
+  d_pct : float;
+}
+
+(** The metrics compared by {!diff_baseline}, in row order. *)
+val gated_metrics : string list
+
+(** [diff_baseline ~baseline records] parses [baseline] (a previously
+    emitted document) and compares every current record against the
+    baseline record with the same [scenario].  Errors on a malformed
+    baseline or a current scenario the baseline does not cover. *)
+val diff_baseline : baseline:string -> record list -> (delta list, string) result
+
+(** Deltas exceeding [max_regress] percent (worse-only; improvements
+    never trip the gate). *)
+val regressions : max_regress:float -> delta list -> delta list
+
+val render_deltas : delta list -> string

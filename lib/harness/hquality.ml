@@ -1,0 +1,114 @@
+module Rg = Sekitei_core.Rg
+module Planner = Sekitei_core.Planner
+module Plan = Sekitei_core.Plan
+module Stats = Sekitei_util.Running_stats
+module Table = Sekitei_util.Ascii_table
+
+type phase_quality = {
+  samples : int;
+  mean_err : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_err : float;
+  violations : int;
+}
+
+type report = {
+  plan_cost : float;
+  path_nodes : int;
+  expanded : int;
+  wasted_ratio : float;
+  slrg : phase_quality;
+  plrg : phase_quality;
+}
+
+let admissibility_eps = 1e-6
+
+let phase_of errs =
+  match errs with
+  | [] ->
+      {
+        samples = 0;
+        mean_err = 0.;
+        p50 = 0.;
+        p90 = 0.;
+        p99 = 0.;
+        max_err = 0.;
+        violations = 0;
+      }
+  | _ ->
+      let res = Stats.Reservoir.create ~capacity:4096 () in
+      List.iter (Stats.Reservoir.add res) errs;
+      let st = Stats.of_list errs in
+      {
+        samples = List.length errs;
+        mean_err = Stats.mean st;
+        p50 = Stats.Reservoir.percentile res 0.5;
+        p90 = Stats.Reservoir.percentile res 0.9;
+        p99 = Stats.Reservoir.percentile res 0.99;
+        max_err = Stats.max st;
+        violations =
+          List.length (List.filter (fun e -> e < -.admissibility_eps) errs);
+      }
+
+let analyze ~plan_cost ~expanded samples =
+  let err h (s : Rg.hsample) = plan_cost -. s.Rg.g -. h s in
+  let slrg_errs = List.map (err (fun s -> s.Rg.h_slrg)) samples in
+  let plrg_errs = List.map (err (fun s -> s.Rg.h_plrg)) samples in
+  let path_nodes = List.length samples in
+  {
+    plan_cost;
+    path_nodes;
+    expanded;
+    wasted_ratio =
+      (if expanded <= 0 then 0.
+       else
+         float_of_int (Stdlib.max 0 (expanded - path_nodes))
+         /. float_of_int expanded);
+    slrg = phase_of slrg_errs;
+    plrg = phase_of plrg_errs;
+  }
+
+let of_report (r : Planner.report) =
+  match (r.Planner.result, r.Planner.hquality) with
+  | Ok plan, Some (_ :: _ as samples) ->
+      Some
+        (analyze ~plan_cost:plan.Plan.cost_lb
+           ~expanded:r.Planner.stats.Planner.rg_expanded samples)
+  | _ -> None
+
+let render r =
+  let t =
+    Table.create
+      ~aligns:
+        [
+          Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Right;
+        ]
+      [
+        "heuristic"; "samples"; "mean err"; "p50"; "p90"; "p99"; "max err";
+        "violations";
+      ]
+  in
+  let row name (q : phase_quality) =
+    Table.add_row t
+      [
+        name;
+        string_of_int q.samples;
+        Table.float_cell q.mean_err;
+        Table.float_cell q.p50;
+        Table.float_cell q.p90;
+        Table.float_cell q.p99;
+        Table.float_cell q.max_err;
+        string_of_int q.violations;
+      ]
+  in
+  row "slrg" r.slrg;
+  row "plrg" r.plrg;
+  Table.render t
+  ^ Printf.sprintf
+      "plan cost %s; %d path node(s), %d expansion(s), wasted-work ratio \
+       %.2f\n"
+      (Table.float_cell r.plan_cost)
+      r.path_nodes r.expanded r.wasted_ratio

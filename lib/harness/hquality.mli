@@ -1,0 +1,53 @@
+(** Heuristic-quality analysis of a profiled planner run.
+
+    The RG search, run with [config.profile_h], records an
+    {!Sekitei_core.Rg.hsample} for every node on the accepted solution's
+    ancestor chain: the node's path cost [g], the SLRG heuristic it was
+    queued with, and the PLRG h_max of the same pending set.  Against
+    the solution cost [C*] the realized cost-to-go of such a node is
+    [C* - g] (costs are set sums, so this holds for re-sequenced
+    solutions too), which makes the per-node heuristic error
+    [(C* - g) - h] directly measurable — the methodology of the
+    heuristic-accuracy evaluations in the LAMA / Fast Downward
+    tradition.
+
+    [analyze] turns the samples into per-phase error statistics
+    (percentiles over a {!Sekitei_util.Running_stats.Reservoir}),
+    counts admissibility violations ([h > C* - g], which must be zero
+    for both heuristics or the optimality claim is void), and computes
+    the wasted-work ratio: the fraction of expansions spent on nodes
+    off the returned path. *)
+
+(** Error statistics of one heuristic ("phase"): all in cost units. *)
+type phase_quality = {
+  samples : int;
+  mean_err : float;  (** mean of [(C* - g) - h] *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max_err : float;
+  violations : int;  (** samples with [h > C* - g + 1e-6]; must be 0 *)
+}
+
+type report = {
+  plan_cost : float;  (** [C*], the optimized cost lower bound *)
+  path_nodes : int;  (** sampled nodes on the solution path *)
+  expanded : int;  (** total RG expansions of the run *)
+  wasted_ratio : float;
+      (** [(expanded - path_nodes) / expanded]; 0 when nothing was
+          expanded off the returned path *)
+  slrg : phase_quality;  (** the search heuristic *)
+  plrg : phase_quality;  (** the per-proposition h_max it refines *)
+}
+
+(** [analyze ~plan_cost ~expanded samples] — [samples] root first as
+    {!Sekitei_core.Planner.report} delivers them. *)
+val analyze :
+  plan_cost:float -> expanded:int -> Sekitei_core.Rg.hsample list -> report
+
+(** Pull everything out of a solved, profiled planner report; [None]
+    when the run failed or was not profiled. *)
+val of_report : Sekitei_core.Planner.report -> report option
+
+(** Render as ASCII tables (one row per phase, plus a summary line). *)
+val render : report -> string

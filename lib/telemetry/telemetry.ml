@@ -224,6 +224,10 @@ let jsonl oc =
     emit =
       (fun ev ->
         output_string oc (Json.to_string (json_of_event ev));
-        output_char oc '\n');
+        output_char oc '\n';
+        (* Progress events are the live heartbeat of a long search;
+           flush so tailing the trace file shows them as they happen
+           instead of whenever the channel buffer fills. *)
+        match ev with Progress _ -> flush oc | _ -> ());
     close = (fun () -> flush oc);
   }

@@ -105,8 +105,10 @@ val memory : unit -> sink * (unit -> event list)
     ["sekitei.telemetry"], level [Info]). *)
 val logs_sink : unit -> sink
 
-(** One compact JSON object per event, one per line (JSONL).  [close]
-    flushes but does not close the channel. *)
+(** One compact JSON object per event, one per line (JSONL).  The
+    channel is flushed after every [Progress] event, so tailing a live
+    trace of a long search shows the heartbeats as they happen.
+    [close] flushes but does not close the channel. *)
 val jsonl : out_channel -> sink
 
 (** The JSONL encoding, exposed for the trace-report tool and tests. *)

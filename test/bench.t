@@ -12,3 +12,30 @@ Every record carries the SLRG cache reuse counters:
 
   $ grep -c '"slrg_cache_hits"' bench.json
   3
+
+--baseline diffs the run against a checked-in baseline and gates on
+regression.  Against the just-written baseline everything is within
+tolerance and the gate passes (the tolerance is generous here because
+back-to-back sub-millisecond timings are noisy; rg_created is exact
+either way):
+
+  $ ../bench/main.exe --json --check --out bench2.json --baseline bench.json --max-regress 1000
+  bench json: 3 records ok
+  bench gate: ok (max regress 1000%)
+
+A doctored baseline with implausibly fast timings trips the gate with a
+non-zero exit:
+
+  $ sed 's/"search_ms": [0-9.]*/"search_ms": 0.000001/' bench.json > fast.json
+  $ ../bench/main.exe --json --check --out bench3.json --baseline fast.json --max-regress 50 > gate.out 2>&1; echo "exit $?"
+  exit 1
+  $ grep -c 'regressed >50%' gate.out
+  1
+
+A baseline missing a tracked scenario is an error, not a silent pass:
+
+  $ echo '[]' > empty.json
+  $ ../bench/main.exe --json --check --out bench4.json --baseline empty.json > /dev/null 2> err.out; echo "exit $?"
+  exit 1
+  $ grep -c 'no record for' err.out
+  1

@@ -43,3 +43,61 @@ Tracing writes a JSONL span tree covering every planner phase:
   > done
   $ grep -c '"ev": "counter"' trace.jsonl > /dev/null && echo counters present
   counters present
+
+The trace report renders the span tree; --self gives the flat
+exclusive-time profile instead (timings vary, so only check shape):
+
+  $ ../tools/trace_report.exe trace.jsonl | head -2 | grep -o 'span\|calls\|total ms\|self ms' | tr '\n' ' '
+  span calls total ms self ms 
+  $ ../tools/trace_report.exe --self trace.jsonl | grep -c 'self %'
+  1
+  $ ../tools/trace_report.exe --self trace.jsonl | grep -cE '^\| (rg|slrg) '
+  2
+
+--explain tabulates the solved plan: per-action cost-bound
+contributions (the column total is exactly the optimized plan cost),
+chosen levels, and each step's binding resource constraint with slack:
+
+  $ sekitei plan --network small --levels C --explain | sed -n '/^Explanation/,/total/p'
+  Explanation:
+  +----+---------------------------+---------+----------+-------------------+-----------------+-----+------+-------+
+  | #  |          action           | cost lb | realized |      levels       |     binding     | cap | used | slack |
+  +----+---------------------------+---------+----------+-------------------+-----------------+-----+------+-------+
+  |  0 | place(Splitter,n4)[M:1]   |      10 |       11 | T[63,70) I[27,30) | cpu@n4          |  30 |   27 |     3 |
+  |  1 | place(Zip,n4)[T:1]        |    7.30 |        8 | Z[31.5,35)        | cpu@n4          |  30 |   27 |     3 |
+  |  2 | cross(Z,n4->n3)[1]        |    4.15 |     4.50 | Z[31.5,35)        | lbw@n3-n4 (LAN) | 150 |   65 |    85 |
+  |  3 | cross(Z,n3->n2)[1]        |    4.15 |     4.50 | Z[31.5,35)        | lbw@n2-n3 (WAN) |  70 |   65 |     5 |
+  |  4 | cross(Z,n2->n1)[1]        |    4.15 |     4.50 | Z[31.5,35)        | lbw@n1-n2 (LAN) | 150 |   65 |    85 |
+  |  5 | cross(Z,n1->n0)[1]        |    4.15 |     4.50 | Z[31.5,35)        | lbw@n0-n1 (LAN) | 150 |   65 |    85 |
+  |  6 | place(Unzip,n0)[Z:1]      |    7.30 |        8 | T[63,70)          | cpu@n0          |  30 |   27 |     3 |
+  |  7 | cross(I,n4->n3)[1]        |    3.70 |        4 | I[27,30)          | lbw@n3-n4 (LAN) | 150 |   65 |    85 |
+  |  8 | cross(I,n3->n2)[1]        |    3.70 |        4 | I[27,30)          | lbw@n2-n3 (WAN) |  70 |   65 |     5 |
+  |  9 | cross(I,n2->n1)[1]        |    3.70 |        4 | I[27,30)          | lbw@n1-n2 (LAN) | 150 |   65 |    85 |
+  | 10 | cross(I,n1->n0)[1]        |    3.70 |        4 | I[27,30)          | lbw@n0-n1 (LAN) | 150 |   65 |    85 |
+  | 11 | place(Merger,n0)[T:1,I:1] |      10 |       11 | M[90,100)         | cpu@n0          |  30 |   27 |     3 |
+  | 12 | place(Client,n0)[M:1]     |      10 |       11 | M[90,100)         | cpu@n0          |  30 |   27 |     3 |
+  +----+---------------------------+---------+----------+-------------------+-----------------+-----+------+-------+
+  |    | total                     |   76.00 |       83 |                   |                 |     |      |       |
+
+--hquality profiles the search heuristics along the solution path;
+admissibility violations must be zero:
+
+  $ sekitei plan --network small --levels C --hquality | sed -n '/^Heuristic quality/,/^plan cost/p'
+  Heuristic quality:
+  +-----------+---------+----------+------+-------+-------+---------+------------+
+  | heuristic | samples | mean err | p50  |  p90  |  p99  | max err | violations |
+  +-----------+---------+----------+------+-------+-------+---------+------------+
+  | slrg      |      14 |     1.71 | 1.00 |  4.40 |  5.00 |    5.00 |          0 |
+  | plrg      |      14 |     5.76 | 1.00 | 16.80 | 16.80 |   16.80 |          0 |
+  +-----------+---------+----------+------+-------+-------+---------+------------+
+  plan cost 76.00; 14 path node(s), 116 expansion(s), wasted-work ratio 0.88
+
+On an out-of-budget search --explain emits the frontier certificate:
+
+  $ sekitei plan --network small --levels C --explain --rg-budget 1 | sed -n '/^Certificate/,/^Stats/p' | sed '$d'
+  Certificate:
+  search budget exhausted: best frontier bound f = 71
+    best-f node actions:
+      place(Client,n0)[M:1]
+    unmet preconditions:
+      avail(M,n0,L1=[90,100))

@@ -1,0 +1,215 @@
+(* Plan explanations, unsolvability certificates, and the
+   heuristic-quality profiler. *)
+
+module Planner = Sekitei_core.Planner
+module Plan = Sekitei_core.Plan
+module Explain = Sekitei_core.Explain
+module Replay = Sekitei_core.Replay
+module Rg = Sekitei_core.Rg
+module Hquality = Sekitei_harness.Hquality
+module Media = Sekitei_domains.Media
+module Model = Sekitei_spec.Model
+module Scenarios = Sekitei_harness.Scenarios
+module T = Sekitei_network.Topology
+
+let solve ?(config = Planner.default_config) (sc : Scenarios.t) level =
+  let leveling = Media.leveling level sc.Scenarios.app in
+  Planner.plan
+    (Planner.request ~config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+
+let explaining = { Planner.default_config with Planner.explain = true }
+
+let expect_plan what (report : Planner.report) =
+  match report.Planner.result with
+  | Ok p -> p
+  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn > 0 && go 0
+
+(* ---------------- explanations ---------------- *)
+
+(* The cost-lb column total must equal the plan's optimized bound
+   bit-for-bit: Explain sums in the search's own accumulation order. *)
+let test_explain_total_exact () =
+  List.iter
+    (fun (sc, level) ->
+      let o = solve ~config:explaining sc level in
+      let p = expect_plan "explain" o in
+      match o.Planner.explanation with
+      | None -> Alcotest.fail "no explanation on a solved explain run"
+      | Some ex ->
+          Alcotest.(check bool)
+            "total equals cost_lb exactly" true
+            (ex.Explain.plan_cost = p.Plan.cost_lb);
+          Alcotest.(check int)
+            "one step per action" (Plan.length p)
+            (List.length ex.Explain.steps))
+    [
+      (Scenarios.tiny (), Media.C);
+      (Scenarios.small (), Media.C);
+      (Scenarios.small (), Media.E);
+    ]
+
+let test_explain_bindings () =
+  let o = solve ~config:explaining (Scenarios.small ()) Media.C in
+  let _ = expect_plan "bindings" o in
+  match o.Planner.explanation with
+  | None -> Alcotest.fail "no explanation"
+  | Some ex ->
+      List.iter
+        (fun (s : Explain.step) ->
+          match s.Explain.binding with
+          | None -> Alcotest.failf "step %d has no binding" s.Explain.index
+          | Some b ->
+              Alcotest.(check bool)
+                "feasible step has non-negative slack" true
+                (b.Explain.slack >= 0.);
+              Alcotest.(check bool)
+                "consumption within capacity" true
+                (b.Explain.total_used <= b.Explain.capacity);
+              Alcotest.(check bool)
+                "step consumption part of the total" true
+                (b.Explain.step_used <= b.Explain.total_used +. 1e-9))
+        ex.Explain.steps;
+      let rendered = Explain.render ex in
+      Alcotest.(check bool)
+        "render has a totals row" true
+        (contains rendered "total")
+
+let test_explain_realized_matches_metrics () =
+  let o = solve ~config:explaining (Scenarios.small ()) Media.C in
+  let p = expect_plan "realized" o in
+  match o.Planner.explanation with
+  | None -> Alcotest.fail "no explanation"
+  | Some ex ->
+      Alcotest.(check (float 1e-6))
+        "realized total matches replay metrics"
+        p.Plan.metrics.Replay.realized_cost ex.Explain.realized_cost
+
+let test_explain_off_by_default () =
+  let o = solve (Scenarios.small ()) Media.C in
+  Alcotest.(check bool) "no explanation" true (o.Planner.explanation = None);
+  Alcotest.(check bool) "no certificate" true (o.Planner.certificate = None);
+  Alcotest.(check bool) "no hquality" true (o.Planner.hquality = None)
+
+(* ---------------- certificates ---------------- *)
+
+let test_unreachable_certificate () =
+  (* Partitioned network: the client's island cannot receive M. *)
+  let app = Media.app ~server:0 ~client:1 () in
+  let topo = T.make ~nodes:[ T.node 0 "n0"; T.node 1 "n1" ] ~links:[] in
+  let o =
+    Planner.plan
+      (Planner.request ~config:explaining topo app
+         ~leveling:(Media.leveling Media.C app))
+  in
+  (match o.Planner.result with
+  | Ok _ -> Alcotest.fail "partitioned instance solved"
+  | Error (Planner.Unreachable_goal _) -> ()
+  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r);
+  match o.Planner.certificate with
+  | Some (Explain.Unreachable_cut { goal; cut; chain }) ->
+      Alcotest.(check bool) "goal named" true (goal <> "");
+      Alcotest.(check bool) "cut named" true (cut <> "");
+      Alcotest.(check bool) "chain starts at the goal" true
+        (match chain with g :: _ -> g = goal | [] -> false);
+      Alcotest.(check bool) "chain ends at the cut" true
+        (match List.rev chain with c :: _ -> c = cut | [] -> false);
+      Alcotest.(check bool) "render names the cut" true
+        (contains
+           (Explain.render_certificate
+              (Explain.Unreachable_cut { goal; cut; chain }))
+           cut)
+  | Some (Explain.Search_frontier _) ->
+      Alcotest.fail "frontier certificate for an unreachable goal"
+  | None -> Alcotest.fail "no certificate on an explained unreachable run"
+
+let test_frontier_certificate () =
+  let config = { explaining with Planner.rg_max_expansions = 1 } in
+  let o = solve ~config (Scenarios.small ()) Media.C in
+  (match o.Planner.result with
+  | Error (Planner.Search_limit _) -> ()
+  | Ok _ -> Alcotest.fail "budget-1 search solved Small-C"
+  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r);
+  match o.Planner.certificate with
+  | Some (Explain.Search_frontier { best_f; tail; unmet }) ->
+      Alcotest.(check bool) "positive admissible bound" true (best_f > 0.);
+      Alcotest.(check bool) "frontier tail non-empty" true (tail <> []);
+      Alcotest.(check bool) "unmet preconditions listed" true (unmet <> [])
+  | Some (Explain.Unreachable_cut _) ->
+      Alcotest.fail "unreachable certificate for a budget failure"
+  | None -> Alcotest.fail "no certificate on an explained budget failure"
+
+(* ---------------- heuristic quality ---------------- *)
+
+let profiling = { Planner.default_config with Planner.profile_h = true }
+
+let test_hquality_zero_violations () =
+  List.iter
+    (fun (sc, level) ->
+      let o = solve ~config:profiling sc level in
+      let _ = expect_plan "profile" o in
+      match Hquality.of_report o with
+      | None -> Alcotest.fail "no quality report on a profiled solved run"
+      | Some hq ->
+          Alcotest.(check int) "slrg admissible" 0 hq.Hquality.slrg.Hquality.violations;
+          Alcotest.(check int) "plrg admissible" 0 hq.Hquality.plrg.Hquality.violations;
+          Alcotest.(check bool) "path sampled" true (hq.Hquality.path_nodes > 0);
+          Alcotest.(check bool) "wasted ratio in [0,1]" true
+            (hq.Hquality.wasted_ratio >= 0. && hq.Hquality.wasted_ratio <= 1.);
+          (* SLRG refines PLRG, so its error cannot be larger on average. *)
+          Alcotest.(check bool) "slrg at least as informed as plrg" true
+            (hq.Hquality.slrg.Hquality.mean_err
+            <= hq.Hquality.plrg.Hquality.mean_err +. 1e-9))
+    [
+      (Scenarios.tiny (), Media.C);
+      (Scenarios.tiny (), Media.D);
+      (Scenarios.small (), Media.C);
+      (Scenarios.small (), Media.E);
+    ]
+
+let test_hquality_samples_on_path () =
+  let o = solve ~config:profiling (Scenarios.small ()) Media.C in
+  let p = expect_plan "samples" o in
+  match o.Planner.hquality with
+  | None | Some [] -> Alcotest.fail "no samples"
+  | Some samples ->
+      (* One sample per push of a solution-path node, the root included:
+         exactly plan length + 1 samples, with g growing along the
+         recorded chain (root first). *)
+      Alcotest.(check int) "one sample per path node" (Plan.length p + 1)
+        (List.length samples);
+      (match samples with
+      | root :: _ ->
+          Alcotest.(check (float 1e-9)) "root starts at g=0" 0. root.Rg.g
+      | [] -> ());
+      let rec monotone = function
+        | (a : Rg.hsample) :: (b :: _ as rest) ->
+            a.Rg.g <= b.Rg.g +. 1e-9 && monotone rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "g non-decreasing root-to-goal" true
+        (monotone samples);
+      let render = Hquality.render (Option.get (Hquality.of_report o)) in
+      Alcotest.(check bool) "render names both phases" true
+        (contains render "slrg" && contains render "plrg")
+
+let suite =
+  [
+    Alcotest.test_case "explain: totals exact" `Quick test_explain_total_exact;
+    Alcotest.test_case "explain: bindings and slack" `Quick test_explain_bindings;
+    Alcotest.test_case "explain: realized cost" `Quick
+      test_explain_realized_matches_metrics;
+    Alcotest.test_case "explain: off by default" `Quick test_explain_off_by_default;
+    Alcotest.test_case "certificate: unreachable cut" `Quick
+      test_unreachable_certificate;
+    Alcotest.test_case "certificate: search frontier" `Quick
+      test_frontier_certificate;
+    Alcotest.test_case "hquality: zero violations" `Quick
+      test_hquality_zero_violations;
+    Alcotest.test_case "hquality: path samples" `Quick
+      test_hquality_samples_on_path;
+  ]

@@ -300,6 +300,56 @@ let prop_telemetry_transparent =
       && s1.Planner.order_repaired = s2.Planner.order_repaired
       && events () <> [])
 
+(* ---------------- recorded heuristics are admissible ---------------- *)
+
+(* The h-quality profiler records (g, h_slrg, h_plrg) for every node on
+   the accepted solution path; both heuristics must satisfy
+   h <= C* - g (the realized cost-to-go) or the optimality claim is
+   void.  Randomizing the SLRG query budget exercises the bounded-answer
+   path of the oracle: answers cut off by the budget are still lower
+   bounds and must stay admissible. *)
+let prop_h_admissible =
+  let module Scenarios = Sekitei_harness.Scenarios in
+  let gen =
+    Q.Gen.triple
+      (Q.Gen.oneofl [ `Tiny; `Small ])
+      (Q.Gen.oneofl [ Media.B; Media.C; Media.D; Media.E ])
+      (Q.Gen.int_range 100 5_000)
+  in
+  let print (net, level, budget) =
+    Printf.sprintf "%s-%s slrg_budget=%d"
+      (match net with `Tiny -> "Tiny" | `Small -> "Small")
+      (Media.scenario_name level) budget
+  in
+  Q.Test.make ~count:20 ~name:"profiled h admissible on the solution path"
+    (Q.make ~print gen)
+    (fun (net, level, budget) ->
+      let sc =
+        match net with
+        | `Tiny -> Scenarios.tiny ()
+        | `Small -> Scenarios.small ()
+      in
+      let config =
+        { Planner.default_config with
+          Planner.profile_h = true;
+          slrg_query_budget = budget;
+          rg_max_expansions = 20_000 }
+      in
+      let leveling = Media.leveling level sc.Scenarios.app in
+      let r =
+        Planner.plan
+          (Planner.request ~config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+      in
+      match (r.Planner.result, r.Planner.hquality) with
+      | Error _, _ -> true (* some levels are infeasible; that's fine *)
+      | Ok _, (None | Some []) -> false (* solved + profiled must sample *)
+      | Ok p, Some samples ->
+          List.for_all
+            (fun (s : Rg.hsample) ->
+              let togo = p.Plan.cost_lb -. s.Rg.g in
+              s.Rg.h_slrg <= togo +. 1e-6 && s.Rg.h_plrg <= togo +. 1e-6)
+            samples)
+
 (* ---------------- order repair equals brute force ---------------- *)
 
 let rec insert_everywhere x = function
@@ -434,6 +484,7 @@ let suite =
       prop_transit_stub_connected;
       prop_planner_sound;
       prop_telemetry_transparent;
+      prop_h_admissible;
       prop_repair_equals_bruteforce;
       prop_slrg_harvest_agrees;
       prop_propagation_wellformed;

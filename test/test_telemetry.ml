@@ -207,9 +207,41 @@ let test_null_report_phases () =
   Alcotest.(check bool) "slrg time measured" true
     (ph.Planner.slrg.Planner.ms >= 0.)
 
+(* The JSONL sink must flush on every progress event so a live trace can
+   be tailed mid-search: the heartbeat line has to be on disk before the
+   channel is closed. *)
+let test_jsonl_flushes_on_progress () =
+  let path = Filename.temp_file "sekitei_jsonl" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      let t = Telemetry.create [ Telemetry.jsonl oc ] in
+      Telemetry.progress t "rg.progress" [ ("expanded", Telemetry.Int 7) ];
+      (* Read back through an independent descriptor, before close. *)
+      let ic = open_in path in
+      let line =
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> try input_line ic with End_of_file -> "")
+      in
+      Alcotest.(check bool) "progress line on disk before close" true
+        (String.length line > 0);
+      (match Sekitei_util.Json.of_string line with
+      | Ok j ->
+          Alcotest.(check (option string))
+            "is the progress event" (Some "progress")
+            (Option.bind (Sekitei_util.Json.member "ev" j)
+               Sekitei_util.Json.to_str)
+      | Error e -> Alcotest.failf "unparseable flushed line: %s" e);
+      Telemetry.close t;
+      close_out oc)
+
 let suite =
   [
     Alcotest.test_case "spans well nested" `Quick test_span_nesting;
+    Alcotest.test_case "jsonl flushes on progress" `Quick
+      test_jsonl_flushes_on_progress;
     Alcotest.test_case "memory sink span tree" `Quick test_span_tree_shape;
     Alcotest.test_case "end_span returns duration" `Quick test_end_span_duration;
     Alcotest.test_case "counters sum" `Quick test_counters_sum;

@@ -5,7 +5,13 @@
 
    Sibling spans with the same name are aggregated into one tree row
    (e.g. the hundreds of slrg.query spans under rg), so the report stays
-   readable on large searches. *)
+   readable on large searches.
+
+   With --self the tree is replaced by a flat per-span-name profile of
+   *self* time (exclusive of children), sorted hottest first.  The tree
+   view charges a child's wall time to every enclosing span — the
+   slrg.query spans run inside rg, so their time shows up in both rows —
+   whereas the self profile counts every millisecond exactly once. *)
 
 module Json = Sekitei_util.Json
 module Table = Sekitei_util.Ascii_table
@@ -154,6 +160,57 @@ let render_tree roots =
   List.iter (walk 0) roots;
   Table.render t
 
+(* Flat self-time profile: per span instance, self = duration minus the
+   sum of its direct children's durations; aggregated per name across
+   the whole trace.  Negative instance self times (clock granularity on
+   sub-microsecond spans) are clamped to zero. *)
+let render_self tr =
+  let child_ms = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ (sp : span) ->
+      let prev = Option.value (Hashtbl.find_opt child_ms sp.parent) ~default:0. in
+      Hashtbl.replace child_ms sp.parent (prev +. sp.dur_ms))
+    tr.spans;
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun id (sp : span) ->
+      let kids = Option.value (Hashtbl.find_opt child_ms id) ~default:0. in
+      let self = Float.max 0. (sp.dur_ms -. kids) in
+      let calls, total, self_sum =
+        Option.value (Hashtbl.find_opt by_name sp.name) ~default:(0, 0., 0.)
+      in
+      Hashtbl.replace by_name sp.name
+        (calls + 1, total +. sp.dur_ms, self_sum +. self))
+    tr.spans;
+  let rows =
+    Hashtbl.fold (fun name (calls, total, self) acc ->
+        (name, calls, total, self) :: acc)
+      by_name []
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare b a)
+  in
+  let grand_self =
+    List.fold_left (fun acc (_, _, _, s) -> acc +. s) 0. rows
+  in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "span"; "calls"; "total ms"; "self ms"; "self %" ]
+  in
+  List.iter
+    (fun (name, calls, total, self) ->
+      Table.add_row t
+        [
+          name;
+          string_of_int calls;
+          Printf.sprintf "%.2f" total;
+          Printf.sprintf "%.2f" self;
+          (if grand_self > 0. then
+             Printf.sprintf "%.1f" (100. *. self /. grand_self)
+           else "-");
+        ])
+    rows;
+  Table.render t
+
 let render_counters tr =
   if tr.counters = [] then ""
   else begin
@@ -179,20 +236,27 @@ let render_gauges tr =
   end
 
 let () =
-  match Sys.argv with
-  | [| _; path |] ->
+  let self_mode, path =
+    match Sys.argv with
+    | [| _; path |] -> (false, Some path)
+    | [| _; "--self"; path |] | [| _; path; "--self" |] -> (true, Some path)
+    | _ -> (false, None)
+  in
+  match path with
+  | Some path ->
       let tr = load path in
       if Hashtbl.length tr.spans = 0 then begin
         Printf.eprintf "%s: no spans found\n" path;
         exit 1
       end;
-      print_string (render_tree (aggregate tr));
+      if self_mode then print_string (render_self tr)
+      else print_string (render_tree (aggregate tr));
       print_string (render_counters tr);
       print_string (render_gauges tr);
       if tr.progress > 0 then
         Printf.printf "\n%d progress heartbeat(s)\n" tr.progress;
       if tr.bad_lines > 0 then
         Printf.printf "\nwarning: %d unparseable line(s) skipped\n" tr.bad_lines
-  | _ ->
-      Printf.eprintf "usage: %s TRACE.jsonl\n" Sys.argv.(0);
+  | None ->
+      Printf.eprintf "usage: %s [--self] TRACE.jsonl\n" Sys.argv.(0);
       exit 2
