@@ -23,7 +23,7 @@ check:
 # intentional perf change, refresh the baseline with `make bench-json`
 # and commit the BENCH_rg.json diff.
 bench-gate:
-	dune exec bench/main.exe -- --json --check \
+	dune exec bench/main.exe -- --json --check --repeat 3 --jobs 1 \
 	  --out /tmp/sekitei_bench_gate.json \
 	  --baseline BENCH_rg.json --max-regress 200
 
@@ -33,8 +33,11 @@ bench:
 
 # Machine-readable planner benchmark: writes BENCH_rg.json (and stdout).
 # The perf trajectory of the RG search is tracked across commits there.
+# Timings are the median of 3 repeats (first-run JIT/GC noise dominates
+# single-shot numbers); --jobs 1 keeps the recorded timings sequential —
+# the same configuration the bench-gate measures against.
 bench-json:
-	dune exec bench/main.exe -- --json
+	dune exec bench/main.exe -- --json --tag pr6 --repeat 3 --jobs 1
 
 # Profile the Small-C run: trace every planner phase to JSONL and render
 # the span tree / counter summary.

@@ -185,6 +185,7 @@ let microbenches () =
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable mode: --json [--tag TAG] [--out FILE] [--check]    *)
+(*                        [--repeat N] [--jobs N]                      *)
 (*                        [--baseline FILE [--max-regress PCT]]        *)
 (* ------------------------------------------------------------------ *)
 
@@ -216,7 +217,24 @@ let json_mode () =
             Printf.eprintf "bench json: bad --max-regress %S\n" s;
             exit 2)
   in
-  let records = Bench_json.run_default () in
+  let int_arg flag default =
+    match opt_arg flag argv with
+    | None -> default
+    | Some s -> (
+        match int_of_string_opt s with
+        | Some v -> v
+        | None ->
+            Printf.eprintf "bench json: bad %s %S\n" flag s;
+            exit 2)
+  in
+  let repeat = int_arg "--repeat" 1 in
+  (* --jobs 0 (or negative) = one worker per recommended domain. *)
+  let jobs =
+    match int_arg "--jobs" 1 with
+    | j when j >= 1 -> j
+    | _ -> Sekitei_util.Domain_pool.default_jobs ()
+  in
+  let records = Bench_json.run_default ~repeat ~jobs () in
   let doc = Bench_json.to_json ?tag records in
   Bench_json.write_file out doc;
   (if check then

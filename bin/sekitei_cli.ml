@@ -2,6 +2,7 @@
 
    Subcommands:
      plan      - plan a built-in evaluation scenario or a DSL spec file
+     batch     - plan several DSL spec files in parallel (multicore)
      validate  - check a DSL spec file for well-formedness
      table1 / table2 / figure - regenerate the paper's exhibits
      topology  - generate topologies and export DOT *)
@@ -102,6 +103,13 @@ let hquality_arg =
              violations, and the wasted-work ratio." in
   Arg.(value & flag & info [ "hquality" ] ~doc)
 
+let eager_h_arg =
+  let doc = "Disable lazy two-stage heuristic evaluation: run the SLRG \
+             oracle on every generated RG node instead of on pop.  Plans \
+             and cost bounds are bit-identical either way; the flag \
+             exists for A/B timing of the deferral." in
+  Arg.(value & flag & info [ "eager-h" ] ~doc)
+
 (* Assemble the run's telemetry handle from --trace/--progress; returns the
    handle and a finalizer that flushes and closes the sinks. *)
 let telemetry_of trace progress =
@@ -143,12 +151,14 @@ let scenario_of = function
   | `Small -> Scenarios.small ()
   | `Large -> Scenarios.large ()
 
-let config_of ?(explain = false) ?(profile_h = false) rg slrg =
+let config_of ?(explain = false) ?(profile_h = false) ?(defer_h = true) rg slrg
+    =
   { Planner.default_config with
     Planner.rg_max_expansions = rg;
     slrg_query_budget = slrg;
     explain;
-    profile_h }
+    profile_h;
+    defer_h }
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -200,9 +210,11 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
 
 let plan_cmd =
   let run spec network levels seed rg slrg dot_file audit suggest trace
-      progress explain hquality verbose =
+      progress explain hquality eager_h verbose =
     setup_logs verbose;
-    let config = config_of ~explain ~profile_h:hquality rg slrg in
+    let config =
+      config_of ~explain ~profile_h:hquality ~defer_h:(not eager_h) rg slrg
+    in
     let telemetry, finish_telemetry = telemetry_of trace progress in
     let code =
       match spec with
@@ -252,9 +264,87 @@ let plan_cmd =
     Term.(
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
       $ slrg_budget_arg $ deployment_dot_arg $ audit_arg $ suggest_arg
-      $ trace_arg $ progress_arg $ explain_arg $ hquality_arg $ verbose_arg)
+      $ trace_arg $ progress_arg $ explain_arg $ hquality_arg $ eager_h_arg
+      $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch_cmd =
+  let files =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"SPEC" ~doc:"CPP specification files (DSL)")
+  in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the batch (default 0 = one per recommended \
+       core, capped at the batch size).  --jobs 1 plans sequentially on \
+       the calling domain."
+    in
+    Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let run files jobs rg slrg eager_h verbose =
+    setup_logs verbose;
+    let config = config_of ~defer_h:(not eager_h) rg slrg in
+    (* Parse every spec up front: a syntax error anywhere aborts the
+       batch before any planning starts (exit 2, like plan --spec). *)
+    let parsed =
+      List.map
+        (fun file ->
+          match Dsl.load_file file with
+          | exception Dsl.Dsl_error msg -> Error (file, msg)
+          | doc -> (
+              match doc.Dsl.topo with
+              | None -> Error (file, "spec file has no network block")
+              | Some topo ->
+                  Ok (file, Planner.request ~config topo doc.Dsl.app
+                              ~leveling:doc.Dsl.leveling)))
+        files
+    in
+    match
+      List.find_map (function Error e -> Some e | Ok _ -> None) parsed
+    with
+    | Some (file, msg) ->
+        Format.eprintf "%s: spec error: %s@." file msg;
+        2
+    | None ->
+        let named =
+          List.filter_map
+            (function Ok fr -> Some fr | Error _ -> None)
+            parsed
+        in
+        let reports =
+          Planner.plan_batch ~jobs (List.map snd named)
+        in
+        (* Reports come back in input order regardless of jobs; one
+           summary line per file, in the order given on the command
+           line. *)
+        let failed = ref 0 in
+        List.iter2
+          (fun (file, _) (r : Planner.report) ->
+            match r.Planner.result with
+            | Ok p ->
+                Format.printf "%s: plan cost %g (%d actions)@." file
+                  p.Plan.cost_lb (Plan.length p)
+            | Error reason ->
+                incr failed;
+                Format.printf "%s: no plan: %a@." file
+                  Planner.pp_failure_reason reason)
+          named reports;
+        if !failed = 0 then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Plan several specification files in parallel (one planner per \
+          worker domain; results print in input order)")
+    Term.(
+      const run $ files $ jobs_arg $ rg_budget_arg $ slrg_budget_arg
+      $ eager_h_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -403,6 +493,9 @@ let main =
   Cmd.group
     (Cmd.info "sekitei" ~version:"1.0.0"
        ~doc:"Resource-aware deployment planning for component-based applications")
-    [ plan_cmd; validate_cmd; table1_cmd; table2_cmd; figure_cmd; topology_cmd ]
+    [
+      plan_cmd; batch_cmd; validate_cmd; table1_cmd; table2_cmd; figure_cmd;
+      topology_cmd;
+    ]
 
 let () = exit (Cmd.eval' main)

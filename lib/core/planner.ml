@@ -15,6 +15,7 @@ type config = {
   validate_spec : bool;
   explain : bool;
   profile_h : bool;
+  defer_h : bool;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     validate_spec = true;
     explain = false;
     profile_h = false;
+    defer_h = true;
   }
 
 type failure_reason =
@@ -47,6 +49,8 @@ type stats = {
   slrg_cache_hits : int;
   slrg_suffix_harvested : int;
   slrg_bound_promoted : int;
+  slrg_deferred : int;
+  slrg_saved : int;
   t_total_ms : float;
   t_search_ms : float;
 }
@@ -65,7 +69,13 @@ let request ?(config = default_config) ?(telemetry = Telemetry.null)
     ?(leveling = Leveling.empty) topo app =
   { topo; app; leveling; config; telemetry }
 
-type phase = { ms : float; items : int }
+type phase = {
+  ms : float;
+  items : int;
+  minor_words : float;
+  major_collections : int;
+}
+
 type slrg_cache = { hits : int; harvested : int; promoted : int }
 
 type phases = {
@@ -101,11 +111,13 @@ let empty_stats =
     slrg_cache_hits = 0;
     slrg_suffix_harvested = 0;
     slrg_bound_promoted = 0;
+    slrg_deferred = 0;
+    slrg_saved = 0;
     t_total_ms = 0.;
     t_search_ms = 0.;
   }
 
-let no_phase = { ms = 0.; items = 0 }
+let no_phase = { ms = 0.; items = 0; minor_words = 0.; major_collections = 0 }
 let no_cache = { hits = 0; harvested = 0; promoted = 0 }
 
 let empty_phases =
@@ -142,12 +154,25 @@ let plan ?adjust (req : request) =
   with
   | Error msg -> invalid msg
   | Ok () -> (
+      (* Each phase is bracketed by GC snapshots next to its timing span:
+         minor-words allocated and major collections triggered are reported
+         per phase (allocation pressure is the first thing to check when a
+         phase's wall time regresses).  [Gc.minor_words] reads the live
+         allocation pointer — [quick_stat]'s [minor_words] field is only
+         refreshed at collection boundaries in native code, so a phase that
+         triggers no minor GC would report zero allocation. *)
+      let gc_snap () =
+        (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_collections)
+      in
+      let gc_delta (aw, ac) (bw, bc) = (bw -. aw, bc - ac) in
       let sp_compile = Telemetry.begin_span telemetry "compile" in
+      let gc_compile0 = gc_snap () in
       match Compile.compile ?adjust ~telemetry topo app leveling with
       | exception Compile.Compile_error msg ->
           ignore (Telemetry.end_span telemetry sp_compile);
           invalid msg
       | pb ->
+          let compile_gc = gc_delta gc_compile0 (gc_snap ()) in
           let total_actions = Array.length pb.Problem.actions in
           let compile_ms =
             Telemetry.end_span telemetry sp_compile
@@ -162,7 +187,9 @@ let plan ?adjust (req : request) =
                 (Prop.count pb.Problem.props));
           let t_search = Timer.start () in
           let sp_plrg = Telemetry.begin_span telemetry "plrg" in
+          let gc_plrg0 = gc_snap () in
           let plrg = Plrg.build ~telemetry pb in
+          let plrg_gc = gc_delta gc_plrg0 (gc_snap ()) in
           let plrg_props, plrg_actions = Plrg.stats plrg in
           let plrg_ms =
             Telemetry.end_span telemetry sp_plrg
@@ -206,18 +233,26 @@ let plan ?adjust (req : request) =
                 (match slrg with Some s -> Slrg.suffix_harvested s | None -> 0);
               slrg_bound_promoted =
                 (match slrg with Some s -> Slrg.bound_promoted s | None -> 0);
+              slrg_deferred =
+                (match rg_stats with Some s -> s.Rg.slrg_deferred | None -> 0);
+              slrg_saved =
+                (match rg_stats with Some s -> s.Rg.slrg_saved | None -> 0);
               t_total_ms = Timer.elapsed_ms t_total;
               t_search_ms = search_ms;
             }
           in
+          let mk_phase ms items (minor_words, major_collections) =
+            { ms; items; minor_words; major_collections }
+          in
           let base_phases ?(slrg_ms = 0.) ?(slrg_items = 0)
-              ?(slrg_cache = no_cache) ?(rg_ms = 0.) ?(rg_items = 0) () =
+              ?(slrg_gc = (0., 0)) ?(slrg_cache = no_cache) ?(rg_ms = 0.)
+              ?(rg_items = 0) ?(rg_gc = (0., 0)) () =
             {
-              compile = { ms = compile_ms; items = total_actions };
-              plrg = { ms = plrg_ms; items = plrg_props };
-              slrg = { ms = slrg_ms; items = slrg_items };
+              compile = mk_phase compile_ms total_actions compile_gc;
+              plrg = mk_phase plrg_ms plrg_props plrg_gc;
+              slrg = mk_phase slrg_ms slrg_items slrg_gc;
               slrg_cache;
-              rg = { ms = rg_ms; items = rg_items };
+              rg = mk_phase rg_ms rg_items rg_gc;
             }
           in
           if not (Plrg.goals_reachable plrg) then begin
@@ -237,17 +272,21 @@ let plan ?adjust (req : request) =
           end
           else begin
             let sp_slrg = Telemetry.begin_span telemetry "slrg" in
+            let gc_slrg0 = gc_snap () in
             let slrg =
               Slrg.create ~telemetry ~query_budget:config.slrg_query_budget pb
                 plrg
             in
+            let slrg_create_gc = gc_delta gc_slrg0 (gc_snap ()) in
             let slrg_create_ms = Telemetry.end_span telemetry sp_slrg in
             let sp_rg = Telemetry.begin_span telemetry "rg" in
+            let gc_rg0 = gc_snap () in
             let profile = if config.profile_h then Some (ref []) else None in
             let result, rg_stats =
-              Rg.search ~max_expansions:config.rg_max_expansions ?profile
-                ~telemetry pb plrg slrg
+              Rg.search ~max_expansions:config.rg_max_expansions
+                ~defer:config.defer_h ?profile ~telemetry pb plrg slrg
             in
+            let rg_gc = gc_delta gc_rg0 (gc_snap ()) in
             let rg_ms =
               Telemetry.end_span telemetry sp_rg
                 ~attrs:
@@ -267,19 +306,22 @@ let plan ?adjust (req : request) =
               base_stats (Timer.elapsed_ms t_search) (Some slrg) (Some rg_stats)
             in
             (* SLRG queries run lazily inside the RG search; their cumulative
-               wall time is attributed to the slrg phase and is therefore a
-               subset of the rg span's wall time. *)
+               wall time and GC footprint are attributed to the slrg phase
+               and are therefore a subset of the rg phase's own bracket. *)
             let phases =
               base_phases
                 ~slrg_ms:(slrg_create_ms +. Slrg.query_ms slrg)
                 ~slrg_items:(Slrg.nodes_generated slrg)
+                ~slrg_gc:
+                  ( fst slrg_create_gc +. Slrg.gc_minor_words slrg,
+                    snd slrg_create_gc + Slrg.gc_major_collections slrg )
                 ~slrg_cache:
                   {
                     hits = Slrg.cache_hits slrg;
                     harvested = Slrg.suffix_harvested slrg;
                     promoted = Slrg.bound_promoted slrg;
                   }
-                ~rg_ms ~rg_items:rg_stats.Rg.created ()
+                ~rg_ms ~rg_items:rg_stats.Rg.created ~rg_gc ()
             in
             let hquality =
               match profile with
@@ -321,6 +363,19 @@ let plan ?adjust (req : request) =
                   stats
           end)
 
+let plan_batch ?adjust ?jobs (reqs : request list) =
+  let jobs =
+    match jobs with
+    | Some j when j >= 1 -> j
+    | _ -> Sekitei_util.Domain_pool.default_jobs ()
+  in
+  (* Shared-nothing: each request compiles its own problem and builds its
+     own oracle, so workers touch no common mutable state — except the
+     telemetry handles the caller put in the requests, which are the
+     caller's contract (per-request handles, or sinks wrapped in
+     [Telemetry.locked]). *)
+  Sekitei_util.Domain_pool.map ~jobs (fun req -> plan ?adjust req) reqs
+
 let solve ?config ?adjust topo app leveling =
   let report = plan ?adjust (request ?config topo app ~leveling) in
   ({ result = report.result; stats = report.stats } : outcome)
@@ -345,15 +400,24 @@ let pp_failure_reason fmt = function
 let pp_stats fmt s =
   Format.fprintf fmt
     "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d dups=%d \
-     rejected=%d repaired=%d time=%.1f/%.1fms"
+     rejected=%d repaired=%d deferred=%d/%d time=%.1f/%.1fms"
     s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
     s.rg_open_left s.rg_expanded s.replay_pruned s.rg_duplicates
-    s.final_replay_rejected s.order_repaired s.t_total_ms s.t_search_ms
+    s.final_replay_rejected s.order_repaired s.slrg_deferred s.slrg_saved
+    s.t_total_ms s.t_search_ms
 
 let pp_phases fmt p =
+  (* gc_minor_kw / gc_major list the four phases in pipeline order:
+     compile, plrg, slrg, rg. *)
   Format.fprintf fmt
     "compile=%.1fms/%d plrg=%.1fms/%d slrg=%.1fms/%d slrg_cache=%d/%d/%d \
-     rg=%.1fms/%d"
+     rg=%.1fms/%d gc_minor_kw=%.0f/%.0f/%.0f/%.0f gc_major=%d/%d/%d/%d"
     p.compile.ms p.compile.items p.plrg.ms p.plrg.items p.slrg.ms p.slrg.items
     p.slrg_cache.hits p.slrg_cache.harvested p.slrg_cache.promoted p.rg.ms
     p.rg.items
+    (p.compile.minor_words /. 1000.)
+    (p.plrg.minor_words /. 1000.)
+    (p.slrg.minor_words /. 1000.)
+    (p.rg.minor_words /. 1000.)
+    p.compile.major_collections p.plrg.major_collections
+    p.slrg.major_collections p.rg.major_collections

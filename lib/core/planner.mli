@@ -22,6 +22,13 @@ type config = {
       (** record heuristic-quality samples ({!Rg.hsample}) along the
           solution path (default [false]; adds a PLRG sweep per queued
           RG node, so leave off when benchmarking) *)
+  defer_h : bool;
+      (** lazy two-stage heuristic evaluation in the RG search (default
+          [true]): queue successors under the cheap PLRG bound and run
+          the SLRG oracle only on nodes that reach the top of the open
+          list.  Plans, cost bounds, and expansion counts are
+          bit-identical either way (see {!Rg.search}); [false] restores
+          eager per-successor oracle queries for A/B measurement *)
 }
 
 val default_config : config
@@ -61,6 +68,12 @@ type stats = {
           beyond the queried roots themselves *)
   slrg_bound_promoted : int;
       (** budget-exhausted SLRG bounds later replaced by exact entries *)
+  slrg_deferred : int;
+      (** RG nodes queued with the cheap PLRG bound instead of an
+          up-front SLRG query ([0] with [config.defer_h = false]) *)
+  slrg_saved : int;
+      (** deferred nodes never refined — SLRG oracle queries eager
+          evaluation would have paid that this run skipped entirely *)
   t_total_ms : float;  (** Table 2 col 9 (left) *)
   t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
 }
@@ -88,8 +101,17 @@ val request :
   Sekitei_spec.Model.app ->
   request
 
-(** One phase of the pipeline: wall time and a characteristic size. *)
-type phase = { ms : float; items : int }
+(** One phase of the pipeline: wall time, a characteristic size, and the
+    phase's GC footprint ([Gc.quick_stat] deltas bracketing the phase —
+    minor-heap words allocated and major collections triggered).  Rising
+    allocation pressure is the usual early warning when a phase's wall
+    time regresses. *)
+type phase = {
+  ms : float;
+  items : int;
+  minor_words : float;
+  major_collections : int;
+}
 
 (** Cross-query reuse counters of the SLRG cost oracle (printed by
     {!pp_phases} as [slrg_cache=hits/harvested/promoted]). *)
@@ -103,9 +125,10 @@ type phases = {
   compile : phase;  (** items = leveled actions after pruning *)
   plrg : phase;  (** items = relevant propositions *)
   slrg : phase;
-      (** items = set nodes generated; [ms] = oracle construction plus the
-          cumulative wall time of its lazy queries, which run {e inside}
-          the RG search (so [slrg.ms] overlaps [rg.ms]) *)
+      (** items = set nodes generated; [ms] (and the GC fields) = oracle
+          construction plus the cumulative footprint of its lazy queries,
+          which run {e inside} the RG search (so the slrg phase overlaps
+          the rg one) *)
   slrg_cache : slrg_cache;
   rg : phase;  (** items = RG nodes created *)
 }
@@ -135,6 +158,26 @@ type report = {
     slrg, rg, replay, replay.repair, per-query slrg.query), aggregated
     counters, and periodic ["rg"] progress events. *)
 val plan : ?adjust:(comp:string -> node:int -> float) -> request -> report
+
+(** [plan_batch reqs] runs {!plan} on every request, in parallel across
+    up to [jobs] domains ({!Sekitei_util.Domain_pool.map}: dynamic load
+    balancing, input-order results, earliest-index exception
+    propagation).  [jobs] defaults to
+    [Domain_pool.default_jobs ()] and is capped at the batch size; any
+    value [< 1] also selects the default, and [~jobs:1] runs the batch
+    sequentially on the calling domain (no domains spawned) — the
+    determinism escape hatch.
+
+    Requests are planned shared-nothing, with one caveat the caller
+    owns: a {!Sekitei_telemetry.Telemetry.t} handle carries mutable
+    counter state, so each request must have its own handle (or
+    {!Sekitei_telemetry.Telemetry.null}); a sink shared between those
+    handles must be wrapped with {!Sekitei_telemetry.Telemetry.locked}. *)
+val plan_batch :
+  ?adjust:(comp:string -> node:int -> float) ->
+  ?jobs:int ->
+  request list ->
+  report list
 
 val solve :
   ?config:config ->

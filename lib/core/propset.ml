@@ -54,9 +54,57 @@ module Tbl = Hashtbl.Make (struct
   let hash = hash
 end)
 
+(* ------------------------------------------------------------------ *)
+(* Hash-consed handles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type handle = { id : int; set : int array }
+
+module Interner = struct
+  (* Hash-consing of canonical sets: every distinct set gets one physical
+     representative array and a dense id assigned in first-seen order.
+     After interning, set equality is id equality and every id-keyed
+     table probe hashes a single int — the FNV walk over the elements
+     runs exactly once per distinct set, at interning time. *)
+  type t = {
+    table : handle Tbl.t;
+    mutable by_id : handle array;  (** dense id -> handle, [size] live *)
+    mutable size : int;
+  }
+
+  let dummy = { id = -1; set = [||] }
+  let create () = { table = Tbl.create 256; by_id = Array.make 64 dummy; size = 0 }
+  let size t = t.size
+
+  let intern t (set : int array) =
+    match Tbl.find_opt t.table set with
+    | Some h -> h
+    | None ->
+        let h = { id = t.size; set } in
+        Tbl.replace t.table set h;
+        if t.size = Array.length t.by_id then begin
+          let grown = Array.make (2 * t.size) dummy in
+          Array.blit t.by_id 0 grown 0 t.size;
+          t.by_id <- grown
+        end;
+        t.by_id.(t.size) <- h;
+        t.size <- t.size + 1;
+        h
+
+  let get t id =
+    if id < 0 || id >= t.size then invalid_arg "Propset.Interner.get";
+    t.by_id.(id)
+end
+
 type ctx = {
   closure_sorted : int array array;  (** per action id, sorted add-closure *)
   pre_canon : int array array;  (** per action id, canonical preconditions *)
+  interner : Interner.t;
+  n_actions : int;
+  regress_memo : (int, handle) Hashtbl.t;
+      (** (parent set id * n_actions + action id) -> interned result; one
+          merge per distinct regression edge across every search sharing
+          this ctx *)
 }
 
 let make_ctx (pb : Problem.t) =
@@ -73,7 +121,17 @@ let make_ctx (pb : Problem.t) =
       (fun (a : Action.t) -> canonical_array pb a.Action.pre)
       pb.Problem.actions
   in
-  { closure_sorted; pre_canon }
+  {
+    closure_sorted;
+    pre_canon;
+    interner = Interner.create ();
+    n_actions = Array.length pb.Problem.actions;
+    regress_memo = Hashtbl.create 1024;
+  }
+
+let intern ctx set = Interner.intern ctx.interner set
+let handle_of_id ctx id = Interner.get ctx.interner id
+let interned_count ctx = Interner.size ctx.interner
 
 (* Merge-based (set \ closure) ∪ pre over three sorted arrays. The result
    is sorted and duplicate-free; [set] and [pre] contain no initially-true
@@ -113,3 +171,12 @@ let regress ctx (set : int array) (a : Action.t) =
     end
   done;
   if !k = ns + np then out else Array.sub out 0 !k
+
+let regress_h ctx (h : handle) (a : Action.t) =
+  let key = (h.id * ctx.n_actions) + a.Action.act_id in
+  match Hashtbl.find_opt ctx.regress_memo key with
+  | Some h' -> h'
+  | None ->
+      let h' = intern ctx (regress ctx h.set a) in
+      Hashtbl.replace ctx.regress_memo key h';
+      h'

@@ -10,6 +10,8 @@ type stats = {
   final_replay_rejected : int;
   duplicates : int;
   order_repaired : int;
+  slrg_deferred : int;
+  slrg_saved : int;
 }
 
 type hsample = { set_size : int; g : float; h_slrg : float; h_plrg : float }
@@ -26,33 +28,43 @@ type result =
 
 type node = {
   tail : Action.t list;  (** plan suffix, execution order *)
-  set : int array;  (** canonical pending propositions *)
+  set : Propset.handle;  (** interned canonical pending propositions *)
   g : float;
+  serial : int;
+      (** creation order; the heap tie-break key, preserved across
+          deferred re-insertions so the expansion order is identical to
+          eager evaluation *)
   acts : Iset.t;  (** action ids in [tail] (repetition guard) *)
   rs : Replay.rstate;
       (** optimistic replay state of the suffix, built incrementally in
           regression order (one [Replay.extend] per search edge) *)
+  mutable refined : bool;
+      (** whether [h] is the SLRG value (true) or the cheap PLRG bound a
+          deferred push queued the node with (false) *)
   mutable chain : hsample list;
       (** under [?profile]: this node's h-quality sample consed onto its
           ancestors' (leaf first); [[]] when profiling is off.  Set by
-          [push] once the SLRG heuristic is known. *)
+          [push]; the [h_slrg] column of the head sample is patched in
+          at refinement time under deferred evaluation. *)
 }
 
-(* Duplicate-detection key: canonical pending set plus the set of action
+(* Duplicate-detection key: interned pending set plus the set of action
    ids in the tail.  The repetition guard makes tails action *sets*, so
    two nodes agreeing on both components are permutations of one another
    — same g (sum of the same cost bounds), same logical obligations —
    and only one needs expanding.  Nodes agreeing on the pending set but
    built from different actions are NOT interchangeable: their replay
    states differ in feasibility, and collapsing them by g-value loses
-   solutions (observed on the tiny-E and small-B levelings). *)
+   solutions (observed on the tiny-E and small-B levelings).  With
+   hash-consed sets the key hashes and compares one int per component
+   probe instead of re-walking the array. *)
 module Key = struct
-  type t = int array * Iset.t
+  type t = int * Iset.t  (* interned set id, tail action set *)
 
-  let equal (s1, a1) (s2, a2) = Propset.equal s1 s2 && Iset.equal a1 a2
+  let equal ((s1 : int), a1) (s2, a2) = s1 = s2 && Iset.equal a1 a2
 
-  let hash (s, a) =
-    let h = ref (Propset.hash s) in
+  let hash ((s : int), a) =
+    let h = ref ((s * 0x01000193) land max_int) in
     Iset.iter (fun x -> h := ((!h * 31) + x) land max_int) a;
     !h
 end
@@ -122,17 +134,23 @@ let repair_order ?(max_steps = 20_000) pb tail =
   | Repaired (tail', metrics) -> Some (tail', metrics)
   | Infeasible | Gave_up -> None
 
-let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
-    ?(telemetry = Telemetry.null) (pb : Problem.t) plrg slrg =
+let search ?(max_expansions = 500_000) ?(dedup = true) ?(defer = true)
+    ?profile ?(telemetry = Telemetry.null) (pb : Problem.t) (_plrg : Plrg.t)
+    slrg =
   let progress_interval = Telemetry.progress_interval telemetry in
   let created = ref 0
   and expanded = ref 0
   and replay_pruned = ref 0
   and final_rejected = ref 0
   and duplicates = ref 0
-  and order_repaired = ref 0 in
-  let ctx = Propset.make_ctx pb in
-  let supports = Supports.make pb plrg in
+  and order_repaired = ref 0
+  and deferred = ref 0
+  and refined_count = ref 0 in
+  (* The SLRG oracle owns the hash-consing ctx and the supports table;
+     sharing them keeps handle ids consistent across the two phases and
+     lets the regression memo and candidate cache pay off twice. *)
+  let ctx = Slrg.ctx slrg in
+  let supports = Slrg.supports slrg in
   (* (pending set, action set) pairs already on the open list.  A node
      re-deriving a recorded pair is a permutation of the recorded one —
      a duplicate, pruned.  Order sensitivity of the final from-init
@@ -155,19 +173,31 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
   let repair_pool = ref 500_000 in
   let heap = Heap.create () in
   (* PLRG h_max of a pending set: the per-proposition heuristic the SLRG
-     refines.  Recorded next to h_slrg so the profiler can attribute
-     heuristic error to either phase. *)
-  let h_plrg set =
-    Array.fold_left (fun acc p -> Float.max acc (Plrg.cost plrg p)) 0. set
-  in
+     refines.  Under deferred evaluation it is also the cheap first-stage
+     bound successors are queued with; served from the oracle's per-id
+     memo, which the oracle's own A* expansions share. *)
+  let h_plrg (h : Propset.handle) = Slrg.h_max_h slrg h in
   let push node =
-    let h = Slrg.query_set slrg node.set in
+    (* Two-stage heuristic evaluation (the deferred-evaluation trick from
+       satisficing planners, applied admissibly): queue the successor
+       with the cheap PLRG h_max bound and run the expensive SLRG oracle
+       only when the node reaches the top of the heap — most generated
+       nodes never do, and never pay an oracle query.  Since the SLRG h
+       dominates the PLRG h, the refined f only grows; re-inserting the
+       popped node under its refined value (below) is sound A*. *)
+    let h =
+      if defer && Array.length node.set.Propset.set > 0 then h_plrg node.set
+      else begin
+        node.refined <- true;
+        Slrg.query_h slrg node.set
+      end
+    in
     if Float.is_finite h then begin
       let keep =
         (not dedup)
-        || Array.length node.set = 0
+        || Array.length node.set.Propset.set = 0
         ||
-        let key = (node.set, node.acts) in
+        let key = (node.set.Propset.id, node.acts) in
         if Ktbl.mem seen_keys key then begin
           incr duplicates;
           false
@@ -179,30 +209,35 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
       in
       if keep then begin
         incr created;
+        if not node.refined then incr deferred;
         (match profile with
         | None -> ()
         | Some _ ->
             node.chain <-
               {
-                set_size = Array.length node.set;
+                set_size = Array.length node.set.Propset.set;
                 g = node.g;
-                h_slrg = h;
+                h_slrg = (if node.refined then h else Float.nan);
                 h_plrg = h_plrg node.set;
               }
               :: node.chain);
-        Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) node
+        Heap.add heap ~prio:(node.g +. h) ~prio2:(-.node.g) ~seq:node.serial
+          node
       end
     end
   in
+  let next_serial = ref 0 in
+  let mk ~tail ~set ~g ~acts ~rs ~chain =
+    let serial = !next_serial in
+    incr next_serial;
+    { tail; set; g; serial; acts; rs; refined = false; chain }
+  in
   push
-    {
-      tail = [];
-      set = Propset.canonical_array pb pb.goal_props;
-      g = 0.;
-      acts = Iset.empty;
-      rs = Replay.initial pb;
-      chain = [];
-    };
+    (mk ~tail:[]
+       ~set:(Propset.intern ctx (Propset.canonical_array pb pb.goal_props))
+       ~g:0. ~acts:Iset.empty
+       ~rs:(Replay.initial pb)
+       ~chain:[]);
   let finish result =
     if Telemetry.enabled telemetry then begin
       Telemetry.count telemetry "rg.created" !created;
@@ -211,6 +246,8 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
       Telemetry.count telemetry "rg.final_replay_rejected" !final_rejected;
       Telemetry.count telemetry "rg.duplicates" !duplicates;
       Telemetry.count telemetry "rg.order_repaired" !order_repaired;
+      Telemetry.count telemetry "rg.slrg_deferred" !deferred;
+      Telemetry.count telemetry "rg.slrg_saved" (!deferred - !refined_count);
       Telemetry.gauge telemetry "rg.open_left" (float_of_int (Heap.length heap))
     end;
     ( result,
@@ -222,6 +259,8 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
         final_replay_rejected = !final_rejected;
         duplicates = !duplicates;
         order_repaired = !order_repaired;
+        slrg_deferred = !deferred;
+        slrg_saved = !deferred - !refined_count;
       } )
   in
   let solution node tail metrics =
@@ -234,84 +273,117 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?profile
     match Heap.pop heap with
     | None -> finish Exhausted
     | Some (node, f) ->
-        if !expanded >= max_expansions then
-          finish
-            (Budget_exceeded
-               {
-                 expansions = !expanded;
-                 best_f = f;
-                 frontier =
-                   Some { f_tail = node.tail; f_pending = node.set };
-               })
-        else begin
-          incr expanded;
-          if progress_interval > 0 && !expanded mod progress_interval = 0 then
-            Telemetry.progress telemetry "rg"
-              [
-                ("expansions", Telemetry.Int !expanded);
-                ("open", Telemetry.Int (Heap.length heap));
-                ("best_f", Telemetry.Float f);
-                ("created", Telemetry.Int !created);
-                ("duplicates", Telemetry.Int !duplicates);
-              ];
-          if Array.length node.set = 0 then begin
-            (* Candidate solution: validate against the true initial map. *)
-            let akey = Iset.elements node.acts in
-            if Hashtbl.mem repair_failed akey then begin
-              incr final_rejected;
+        if not node.refined then begin
+          (* Second heuristic stage, on pop: refine the cheap bound with
+             the SLRG oracle and re-insert unless the node is still the
+             frontier minimum under the full (f, -g, serial) order — the
+             serial is preserved, so ties resolve exactly as if the node
+             had been queued with the refined value from the start. *)
+          incr refined_count;
+          let h = Slrg.query_h slrg node.set in
+          if not (Float.is_finite h) then loop ()
+          else begin
+            node.refined <- true;
+            (match profile with
+            | None -> ()
+            | Some _ -> (
+                match node.chain with
+                | top :: rest when Float.is_nan top.h_slrg ->
+                    node.chain <- { top with h_slrg = h } :: rest
+                | _ -> ()));
+            let f' = node.g +. h in
+            let still_min =
+              f' = f
+              ||
+              match Heap.peek heap with
+              | None -> true
+              | Some (_, top_f) -> f' < top_f
+            in
+            if still_min then process node f'
+            else begin
+              Heap.add heap ~prio:f' ~prio2:(-.node.g) ~seq:node.serial node;
               loop ()
             end
-            else
-              match
-                Replay.run ~telemetry pb ~mode:Replay.From_init node.tail
-              with
-              | Ok metrics -> solution node node.tail metrics
-              | Error _ when !repair_pool <= 0 ->
-                  incr final_rejected;
-                  loop ()
-              | Error _ -> (
-                  (* The order that survived dedup may be infeasible even
-                     though a permutation of the same multiset is fine. *)
-                  let steps = ref (min 20_000 !repair_pool) in
-                  let budget = !steps in
-                  let outcome =
-                    Telemetry.with_span telemetry "replay.repair" (fun () ->
-                        repair_search ~steps pb node.tail)
-                  in
-                  repair_pool := !repair_pool - (budget - !steps);
-                  match outcome with
-                  | Repaired (tail', metrics) ->
-                      incr order_repaired;
-                      solution node tail' metrics
-                  | Infeasible ->
-                      Hashtbl.replace repair_failed akey ();
-                      incr final_rejected;
-                      loop ()
-                  | Gave_up ->
-                      incr final_rejected;
-                      loop ())
-          end
-          else begin
-            Array.iter
-              (fun aid ->
-                if not (Iset.mem aid node.acts) then begin
-                  let a = pb.actions.(aid) in
-                  match Replay.extend pb ~mode:Replay.Regression node.rs a with
-                  | Error _ -> incr replay_pruned
-                  | Ok rs' ->
-                      push
-                        {
-                          tail = a :: node.tail;
-                          set = Propset.regress ctx node.set a;
-                          g = node.g +. a.Action.cost_lb;
-                          acts = Iset.add aid node.acts;
-                          rs = rs';
-                          chain = node.chain;
-                        }
-                end)
-              (Supports.candidates supports node.set);
-            loop ()
           end
         end
+        else process node f
+  and process node f =
+    if !expanded >= max_expansions then
+      finish
+        (Budget_exceeded
+           {
+             expansions = !expanded;
+             best_f = f;
+             frontier =
+               Some { f_tail = node.tail; f_pending = node.set.Propset.set };
+           })
+    else begin
+      incr expanded;
+      if progress_interval > 0 && !expanded mod progress_interval = 0 then
+        Telemetry.progress telemetry "rg"
+          [
+            ("expansions", Telemetry.Int !expanded);
+            ("open", Telemetry.Int (Heap.length heap));
+            ("best_f", Telemetry.Float f);
+            ("created", Telemetry.Int !created);
+            ("duplicates", Telemetry.Int !duplicates);
+          ];
+      if Array.length node.set.Propset.set = 0 then begin
+        (* Candidate solution: validate against the true initial map. *)
+        let akey = Iset.elements node.acts in
+        if Hashtbl.mem repair_failed akey then begin
+          incr final_rejected;
+          loop ()
+        end
+        else
+          match
+            Replay.run ~telemetry pb ~mode:Replay.From_init node.tail
+          with
+          | Ok metrics -> solution node node.tail metrics
+          | Error _ when !repair_pool <= 0 ->
+              incr final_rejected;
+              loop ()
+          | Error _ -> (
+              (* The order that survived dedup may be infeasible even
+                 though a permutation of the same multiset is fine. *)
+              let steps = ref (min 20_000 !repair_pool) in
+              let budget = !steps in
+              let outcome =
+                Telemetry.with_span telemetry "replay.repair" (fun () ->
+                    repair_search ~steps pb node.tail)
+              in
+              repair_pool := !repair_pool - (budget - !steps);
+              match outcome with
+              | Repaired (tail', metrics) ->
+                  incr order_repaired;
+                  solution node tail' metrics
+              | Infeasible ->
+                  Hashtbl.replace repair_failed akey ();
+                  incr final_rejected;
+                  loop ()
+              | Gave_up ->
+                  incr final_rejected;
+                  loop ())
+      end
+      else begin
+        Array.iter
+          (fun aid ->
+            if not (Iset.mem aid node.acts) then begin
+              let a = pb.actions.(aid) in
+              match Replay.extend pb ~mode:Replay.Regression node.rs a with
+              | Error _ -> incr replay_pruned
+              | Ok rs' ->
+                  push
+                    (mk
+                       ~tail:(a :: node.tail)
+                       ~set:(Propset.regress_h ctx node.set a)
+                       ~g:(node.g +. a.Action.cost_lb)
+                       ~acts:(Iset.add aid node.acts)
+                       ~rs:rs' ~chain:node.chain)
+            end)
+          (Supports.candidates_h supports node.set);
+        loop ()
+      end
+    end
   in
   loop ()

@@ -42,12 +42,19 @@ type stats = {
       (** candidate tails whose surviving order failed from-init
           validation but were recovered by the backtracking re-sequencer
           {!repair_order} *)
+  slrg_deferred : int;
+      (** nodes queued with the cheap PLRG bound instead of an SLRG query
+          (always [0] with [~defer:false]) *)
+  slrg_saved : int;
+      (** deferred nodes that terminated still unrefined — oracle queries
+          the eager strategy would have paid and this search never ran *)
 }
 
 (** One heuristic-quality sample, recorded (under [?profile]) for every
     node on the ancestor chain of the accepted solution: the node's
     pending-set size, its path cost [g], the SLRG heuristic the search
-    queued it with, and the PLRG h_max value of the same pending set.
+    expanded it under (with [~defer:true] the value refined at pop), and
+    the PLRG h_max value of the same pending set.
     Against the solution cost [C*], the realized cost-to-go of the node
     is [C* - g]; admissibility demands [h <= C* - g] for both columns. *)
 type hsample = { set_size : int; g : float; h_slrg : float; h_plrg : float }
@@ -87,6 +94,18 @@ val repair_order :
     exposed so tests can assert that pruning never changes the returned
     plan cost.
 
+    [defer] (default [true]) enables lazy two-stage heuristic evaluation:
+    successors are queued under the cheap PLRG h_max bound and the
+    expensive SLRG oracle query runs only when a node first reaches the
+    top of the open list, re-inserting it if the refined f-value exceeds
+    the new frontier minimum.  Because the SLRG heuristic dominates the
+    PLRG one and node serial numbers are preserved across re-insertion,
+    the expansion order — and therefore the returned plan, its cost
+    bound, and [expanded] — is bit-identical to [~defer:false]; only
+    the oracle-query count (and with it [created]/[duplicates], since
+    SLRG-infeasible successors are detected at pop instead of at push)
+    differs.  The savings are reported in [slrg_deferred]/[slrg_saved].
+
     [profile], when given, turns on heuristic-quality recording: every
     queued node carries its (set size, g, h) sample chained to its
     ancestors', and on [Solution] the ref receives the accepted node's
@@ -98,11 +117,13 @@ val repair_order :
     {!Sekitei_telemetry.Telemetry.progress_interval} expansions: open-list
     size, best f, expansions, duplicates), counts search totals
     ([rg.created], [rg.expanded], [rg.replay_pruned], [rg.duplicates],
-    [rg.final_replay_rejected], [rg.order_repaired]), and wraps final
-    candidate validation in ["replay"] / ["replay.repair"] sub-spans. *)
+    [rg.final_replay_rejected], [rg.order_repaired], [rg.slrg_deferred],
+    [rg.slrg_saved]), and wraps final candidate validation in
+    ["replay"] / ["replay.repair"] sub-spans. *)
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->
+  ?defer:bool ->
   ?profile:hsample list ref ->
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
   Problem.t ->

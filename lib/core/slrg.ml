@@ -1,5 +1,5 @@
 module Heap = Sekitei_util.Heap
-module H = Propset.Tbl
+module Itbl = Hashtbl.Make (Int)
 module Timer = Sekitei_util.Timer
 module Telemetry = Sekitei_telemetry.Telemetry
 
@@ -26,16 +26,28 @@ let escalation_pool_factor = 100
    every subsequent query — for no pruning in return. *)
 let harvest_cap = 4096
 
+(* All caches are keyed by the dense interned-set id ({!Propset.handle}).
+   Interned ids are dense, so the three persistent caches (exact costs,
+   exhausted bounds, PLRG h_max) are flat arrays indexed by id with NaN
+   as the absent sentinel: the per-successor probes of the A* inner loop
+   — the hottest reads of the whole planner — are plain array loads, no
+   hashing and no option allocation.  The FNV walk over the set elements
+   runs once per distinct set, inside the interner. *)
 type t = {
   problem : Problem.t;
   plrg : Plrg.t;
   ctx : Propset.ctx;
   supports : Supports.t;
   query_budget : int;
-  solved : float H.t;  (** exact set costs *)
-  bounds : (float * int) H.t;
-      (** per budget-exhausted set: the admissible lower bound found so
-          far and the expansion budget spent finding it (drives the
+  mutable solved_val : float array;
+      (** exact set cost by interned id, NaN = not solved (infinity is a
+          legitimate solved value: logically infeasible set) *)
+  mutable solved_ids : int list;  (** ids with a solved entry, unordered *)
+  mutable bound_val : float array;
+      (** per budget-exhausted set id: the admissible lower bound found
+          so far, NaN = no bound *)
+  mutable bound_spent : int array;
+      (** expansion budget spent finding [bound_val] (drives the
           doubled-budget escalation on re-query) *)
   mutable generated : int;
   mutable escalation_pool : int;
@@ -48,6 +60,14 @@ type t = {
   mutable query_ms : float;
       (** cumulative wall time of non-memoized queries (always tracked —
           the planner's phase report needs it even without telemetry) *)
+  mutable gc_minor_words : float;
+      (** cumulative [Gc.minor_words] allocated inside non-memoized
+          queries (phase-level allocation accounting) *)
+  mutable gc_major_collections : int;
+  mutable hmax_by_id : float array;
+      (** PLRG h_max per interned set id, [nan] = not yet computed — the
+          same sets recur across queries (and in the RG push path), so
+          the per-proposition sweep runs once per distinct set *)
 }
 
 let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
@@ -58,8 +78,10 @@ let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
     ctx = Propset.make_ctx problem;
     supports = Supports.make problem plrg;
     query_budget;
-    solved = H.create 256;
-    bounds = H.create 256;
+    solved_val = Array.make 1024 Float.nan;
+    solved_ids = [];
+    bound_val = Array.make 1024 Float.nan;
+    bound_spent = Array.make 1024 0;
     generated = 0;
     escalation_pool = escalation_pool_factor * query_budget;
     cache_hits = 0;
@@ -67,10 +89,71 @@ let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
     bound_promoted = 0;
     telemetry;
     query_ms = 0.;
+    gc_minor_words = 0.;
+    gc_major_collections = 0;
+    hmax_by_id = Array.make 1024 Float.nan;
   }
 
-let h_max t set =
-  Array.fold_left (fun acc p -> Float.max acc (Plrg.cost t.plrg p)) 0. set
+let ctx t = t.ctx
+let supports t = t.supports
+
+(* Dense-id cache plumbing: reads tolerate ids beyond the current
+   capacity (absent), writes grow geometrically. *)
+let[@inline] dget arr id = if id < Array.length arr then arr.(id) else Float.nan
+
+let grow_float arr cap =
+  let grown = Array.make cap Float.nan in
+  Array.blit arr 0 grown 0 (Array.length arr);
+  grown
+
+let grow_int arr cap =
+  let grown = Array.make cap 0 in
+  Array.blit arr 0 grown 0 (Array.length arr);
+  grown
+
+let[@inline] solved t id = dget t.solved_val id
+let[@inline] bound t id = dget t.bound_val id
+
+let set_solved t id c =
+  let n = Array.length t.solved_val in
+  if id >= n then
+    t.solved_val <- grow_float t.solved_val (Stdlib.max (2 * n) (id + 1024));
+  if Float.is_nan t.solved_val.(id) then t.solved_ids <- id :: t.solved_ids;
+  t.solved_val.(id) <- c
+
+let set_bound t id b spent =
+  let n = Array.length t.bound_val in
+  if id >= n then begin
+    let cap = Stdlib.max (2 * n) (id + 1024) in
+    t.bound_val <- grow_float t.bound_val cap;
+    t.bound_spent <- grow_int t.bound_spent cap
+  end;
+  t.bound_val.(id) <- b;
+  t.bound_spent.(id) <- spent
+
+let clear_bound t id =
+  if id < Array.length t.bound_val then t.bound_val.(id) <- Float.nan
+
+let h_max t (set : int array) =
+  let h = ref 0. in
+  for i = 0 to Array.length set - 1 do
+    let c = Plrg.cost t.plrg set.(i) in
+    if c > !h then h := c
+  done;
+  !h
+
+let h_max_h t (handle : Propset.handle) =
+  let id = handle.Propset.id in
+  let n = Array.length t.hmax_by_id in
+  if id >= n then
+    t.hmax_by_id <- grow_float t.hmax_by_id (Stdlib.max (2 * n) (id + 1024));
+  let v = t.hmax_by_id.(id) in
+  if Float.is_nan v then begin
+    let v = h_max t handle.Propset.set in
+    t.hmax_by_id.(id) <- v;
+    v
+  end
+  else v
 
 (* Suffix-cost harvesting: at exact termination with optimum [cost], every
    set on the recorded best complete path satisfies
@@ -80,42 +163,51 @@ let h_max t set =
    for the whole chain.  [g_best] may exceed the optimal prefix cost on
    degenerate reopening orders, in which case the harvested value is an
    underestimate — still a sound lower bound, never an overestimate. *)
-let harvest t ~root ~cost ~g_best ~parent from =
+let harvest t ~(root : Propset.handle) ~cost ~g_best ~parent from =
   match from with
   | None -> ()
-  | Some s0 ->
-      let rec walk s =
-        if Array.length s > 0 && not (Propset.equal s root) then begin
-          (match H.find_opt g_best s with
+  | Some (s0 : Propset.handle) ->
+      let rec walk (s : Propset.handle) =
+        if Array.length s.Propset.set > 0 && s.Propset.id <> root.Propset.id
+        then begin
+          (match Itbl.find_opt g_best s.Propset.id with
           | None -> ()
           | Some g ->
               let c = cost -. g in
               (* h_max is consistent under regression, hence admissible
                  against the exact suffix cost at every chain node. *)
-              assert (h_max t s <= c +. 1e-6);
-              if not (H.mem t.solved s) then begin
-                H.replace t.solved s c;
+              assert (h_max t s.Propset.set <= c +. 1e-6);
+              if Float.is_nan (solved t s.Propset.id) then begin
+                set_solved t s.Propset.id c;
                 t.suffix_harvested <- t.suffix_harvested + 1;
                 Telemetry.count t.telemetry "slrg.suffix_harvested" 1;
-                if H.mem t.bounds s then begin
-                  H.remove t.bounds s;
+                if not (Float.is_nan (bound t s.Propset.id)) then begin
+                  clear_bound t s.Propset.id;
                   t.bound_promoted <- t.bound_promoted + 1;
                   Telemetry.count t.telemetry "slrg.bound_promoted" 1
                 end
               end);
-          match H.find_opt parent s with Some p -> walk p | None -> ()
+          match Itbl.find_opt parent s.Propset.id with
+          | Some p -> walk p
+          | None -> ()
         end
         else
-          match H.find_opt parent s with Some p -> walk p | None -> ()
+          match Itbl.find_opt parent s.Propset.id with
+          | Some p -> walk p
+          | None -> ()
       in
       walk s0
 
 (* One A* regression solve of [root] under [budget] expansions.  [prior]
    is the cached (bound, spent) pair from an earlier exhausted run, folded
    into the root heuristic and the returned bound. *)
-let run_query t (root : int array) ~prior ~budget =
+let run_query t (root : Propset.handle) ~prior ~budget =
   let pb = t.problem in
   let t0 = Timer.start () in
+  (* [Gc.minor_words] reads the live allocation pointer; [quick_stat]'s
+     field is only refreshed at collection boundaries in native code. *)
+  let gc0_minor = Gc.minor_words () in
+  let gc0_major = (Gc.quick_stat ()).Gc.major_collections in
   let sp =
     if Telemetry.enabled t.telemetry then
       Some (Telemetry.begin_span t.telemetry "slrg.query")
@@ -124,18 +216,18 @@ let run_query t (root : int array) ~prior ~budget =
   let expansions = ref 0 in
   let cost =
     let h_root =
-      let h = h_max t root in
+      let h = h_max_h t root in
       match prior with Some (b, _) -> Float.max h b | None -> h
     in
     if not (Float.is_finite h_root) then begin
-      H.replace t.solved root Float.infinity;
+      set_solved t root.Propset.id Float.infinity;
       Float.infinity
     end
     else begin
-      let g_best = H.create 64 in
-      let parent = H.create 64 in
+      let g_best = Itbl.create 64 in
+      let parent = Itbl.create 64 in
       let heap = Heap.create () in
-      H.replace g_best root 0.;
+      Itbl.replace g_best root.Propset.id 0.;
       Heap.add heap ~prio:h_root (root, 0.);
       t.generated <- t.generated + 1;
       let best_complete = ref Float.infinity in
@@ -165,13 +257,13 @@ let run_query t (root : int array) ~prior ~budget =
             else begin
               ignore (Heap.pop heap);
               let stale =
-                match H.find_opt g_best set with
+                match Itbl.find_opt g_best set.Propset.id with
                 | Some g' -> g' < g -. 1e-12
                 | None -> false
               in
               if not stale then begin
                 incr expansions;
-                if Array.length set = 0 then begin
+                if Array.length set.Propset.set = 0 then begin
                   if g < !best_complete then begin
                     best_complete := g;
                     complete_from := Some set
@@ -182,43 +274,42 @@ let run_query t (root : int array) ~prior ~budget =
                   Array.iter
                     (fun aid ->
                       let a = pb.actions.(aid) in
-                      let set' = Propset.regress t.ctx set a in
+                      let set' = Propset.regress_h t.ctx set a in
                       let g' = g +. a.Action.cost_lb in
-                      match H.find_opt t.solved set' with
-                      | Some rest ->
-                          if g' +. rest < !best_complete then begin
-                            best_complete := g' +. rest;
-                            complete_from := Some set
-                          end
-                      | None -> (
-                          let h = h_max t set' in
-                          if Float.is_finite h then
-                            (* Solved-subset seeding: a cached partial
-                               bound for the successor strengthens its
-                               f-value (still admissible), so exhausted
-                               earlier queries sharpen later ones instead
-                               of being discarded. *)
-                            let h =
-                              match H.find_opt t.bounds set' with
-                              | Some (b, _) -> Float.max h b
-                              | None -> h
-                            in
-                            (* Dominated successors (f no better than a
-                               completion already in hand) can never
-                               improve the answer; with the harvested
-                               bounds folded into h this prunes most of
-                               the frontier of a re-query. *)
-                            if g' +. h < !best_complete then
-                              match H.find_opt g_best set' with
-                              | Some g_old when g_old <= g' +. 1e-12 -> ()
-                              | existing ->
-                                  if Option.is_some existing then
-                                    reopened := true;
-                                  H.replace g_best set' g';
-                                  H.replace parent set' set;
-                                  t.generated <- t.generated + 1;
-                                  Heap.add heap ~prio:(g' +. h) (set', g')))
-                    (Supports.candidates t.supports set)
+                      let rest = solved t set'.Propset.id in
+                      if not (Float.is_nan rest) then begin
+                        if g' +. rest < !best_complete then begin
+                          best_complete := g' +. rest;
+                          complete_from := Some set
+                        end
+                      end
+                      else
+                        let h = h_max_h t set' in
+                        if Float.is_finite h then begin
+                          (* Solved-subset seeding: a cached partial
+                             bound for the successor strengthens its
+                             f-value (still admissible), so exhausted
+                             earlier queries sharpen later ones instead
+                             of being discarded. *)
+                          let b = bound t set'.Propset.id in
+                          let h = if Float.is_nan b then h else Float.max h b in
+                          (* Dominated successors (f no better than a
+                             completion already in hand) can never
+                             improve the answer; with the harvested
+                             bounds folded into h this prunes most of
+                             the frontier of a re-query. *)
+                          if g' +. h < !best_complete then
+                            match Itbl.find_opt g_best set'.Propset.id with
+                            | Some g_old when g_old <= g' +. 1e-12 -> ()
+                            | existing ->
+                                if Option.is_some existing then
+                                  reopened := true;
+                                Itbl.replace g_best set'.Propset.id g';
+                                Itbl.replace parent set'.Propset.id set;
+                                t.generated <- t.generated + 1;
+                                Heap.add heap ~prio:(g' +. h) (set', g')
+                        end)
+                    (Supports.candidates_h t.supports set)
               end
             end
       done;
@@ -234,22 +325,25 @@ let run_query t (root : int array) ~prior ~budget =
            and any recorded g only overestimates the optimal prefix.
            Folded into later queries' f-values by bound seeding, this is
            what makes correlated RG queries terminate almost immediately. *)
-        if Float.is_finite cost && H.length g_best <= harvest_cap then
-          H.iter
-            (fun s g ->
+        if Float.is_finite cost && Itbl.length g_best <= harvest_cap then
+          Itbl.iter
+            (fun sid g ->
               let b = cost -. g in
-              if b > 0. && not (H.mem t.solved s) && b > h_max t s then
-                match H.find_opt t.bounds s with
-                | Some (b0, _) when b0 >= b -> ()
-                | Some (_, spent) -> H.replace t.bounds s (b, spent)
-                | None -> H.replace t.bounds s (b, 0))
+              if
+                b > 0.
+                && Float.is_nan (solved t sid)
+                && b > h_max_h t (Propset.handle_of_id t.ctx sid)
+              then
+                let b0 = bound t sid in
+                if Float.is_nan b0 then set_bound t sid b 0
+                else if b0 < b then set_bound t sid b t.bound_spent.(sid))
             g_best;
-        H.replace t.solved root cost;
-        if H.mem t.bounds root then begin
-          H.remove t.bounds root;
+        if not (Float.is_nan (bound t root.Propset.id)) then begin
+          clear_bound t root.Propset.id;
           t.bound_promoted <- t.bound_promoted + 1;
           Telemetry.count t.telemetry "slrg.bound_promoted" 1
         end;
+        set_solved t root.Propset.id cost;
         cost
       end
       else begin
@@ -258,20 +352,24 @@ let run_query t (root : int array) ~prior ~budget =
         let cost =
           match prior with Some (b, _) -> Float.max b cost | None -> cost
         in
-        H.replace t.bounds root (cost, budget);
+        set_bound t root.Propset.id cost budget;
         cost
       end
     end
   in
   if prior <> None then t.escalation_pool <- t.escalation_pool - !expansions;
   t.query_ms <- t.query_ms +. Timer.elapsed_ms t0;
+  t.gc_minor_words <- t.gc_minor_words +. (Gc.minor_words () -. gc0_minor);
+  t.gc_major_collections <-
+    t.gc_major_collections
+    + ((Gc.quick_stat ()).Gc.major_collections - gc0_major);
   (match sp with
   | Some sp ->
       ignore
         (Telemetry.end_span t.telemetry sp
            ~attrs:
              [
-               ("set", Telemetry.Int (Array.length root));
+               ("set", Telemetry.Int (Array.length root.Propset.set));
                ("expansions", Telemetry.Int !expansions);
                ("cost", Telemetry.Float cost);
              ])
@@ -282,34 +380,46 @@ let cache_hit t =
   t.cache_hits <- t.cache_hits + 1;
   Telemetry.count t.telemetry "slrg.cache_hit" 1
 
-(* [root] must be canonical (the RG passes its nodes' sets through
-   unchanged; results are memoized by that same canonical key). *)
-let query_set t (root : int array) =
-  if Array.length root = 0 then 0.
+(* [root] must be a handle of this oracle's {!ctx} (the RG shares the ctx
+   and passes its nodes' handles through unchanged; results are memoized
+   by the handle's dense id). *)
+let query_h t (root : Propset.handle) =
+  if Array.length root.Propset.set = 0 then 0.
   else
-    match H.find_opt t.solved root with
-    | Some c ->
-        cache_hit t;
-        c
-    | None -> (
-        match H.find_opt t.bounds root with
-        | Some (b, spent)
-          when spent >= escalation_cap * t.query_budget
-               || t.escalation_pool <= 0 ->
-            (* Escalation cap or shared pool exhausted: serve the bound
-               like a cache entry so pathological sets cannot dominate
-               planning time. *)
-            cache_hit t;
-            b
-        | Some (_, spent) as prior ->
-            run_query t root ~prior ~budget:(max t.query_budget (2 * spent))
-        | None -> run_query t root ~prior:None ~budget:t.query_budget)
+    let c = solved t root.Propset.id in
+    if not (Float.is_nan c) then begin
+      cache_hit t;
+      c
+    end
+    else
+      let b = bound t root.Propset.id in
+      if Float.is_nan b then run_query t root ~prior:None ~budget:t.query_budget
+      else
+        let spent = t.bound_spent.(root.Propset.id) in
+        if spent >= escalation_cap * t.query_budget || t.escalation_pool <= 0
+        then begin
+          (* Escalation cap or shared pool exhausted: serve the bound
+             like a cache entry so pathological sets cannot dominate
+             planning time. *)
+          cache_hit t;
+          b
+        end
+        else
+          run_query t root ~prior:(Some (b, spent))
+            ~budget:(max t.query_budget (2 * spent))
 
+(* [root] must be canonical (see {!Propset}); it is interned on entry. *)
+let query_set t (root : int array) = query_h t (Propset.intern t.ctx root)
 let query t props = query_set t (Propset.canonical t.problem props)
 let nodes_generated t = t.generated
 let query_ms t = t.query_ms
+let gc_minor_words t = t.gc_minor_words
+let gc_major_collections t = t.gc_major_collections
 let cache_hits t = t.cache_hits
 let suffix_harvested t = t.suffix_harvested
 let bound_promoted t = t.bound_promoted
 
-let iter_solved t f = H.iter f t.solved
+let iter_solved t f =
+  List.iter
+    (fun sid -> f (Propset.handle_of_id t.ctx sid).Propset.set t.solved_val.(sid))
+    t.solved_ids

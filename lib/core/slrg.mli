@@ -42,14 +42,33 @@ val create :
   Plrg.t ->
   t
 
+(** The oracle's {!Propset.ctx} (regression tables + set interner).  The
+    RG search shares it so both phases agree on handle ids, regression
+    memoization, and the {!supports} candidate cache. *)
+val ctx : t -> Propset.ctx
+
+(** The oracle's relevant-supports table (see {!Supports}); shared with
+    the RG search alongside {!ctx}. *)
+val supports : t -> Supports.t
+
 (** Admissible lower bound on the serial cost of achieving all the given
     propositions from the initial state; [infinity] when impossible. *)
 val query : t -> int list -> float
 
-(** [query] over an {b already-canonical} set (see {!Propset}) — the RG
-    passes its nodes' sets straight through, skipping the list conversion
-    and re-canonicalization; results are memoized under that key. *)
+(** [query] over an {b already-canonical} set (see {!Propset}); the set
+    is interned in the oracle's ctx and delegated to {!query_h}. *)
 val query_set : t -> int array -> float
+
+(** [query_set] over an interned handle of this oracle's {!ctx} — the RG
+    passes its nodes' handles straight through; results are memoized by
+    the handle's dense id (one int-keyed probe per repeat query). *)
+val query_h : t -> Propset.handle -> float
+
+(** The cheap PLRG h_max bound of an interned set (the first-stage
+    heuristic of deferred evaluation), memoized per dense id — the
+    per-proposition sweep runs once per distinct set across the oracle's
+    own A* expansions and the RG's deferred pushes. *)
+val h_max_h : t -> Propset.handle -> float
 
 (** Total number of set nodes generated across all queries so far
     (Table 2, column SLRG). *)
@@ -59,6 +78,14 @@ val nodes_generated : t -> int
     SLRG share of the RG search phase in the planner's report.  Tracked
     whether or not telemetry is enabled. *)
 val query_ms : t -> float
+
+(** Cumulative [Gc.minor_words] allocated inside non-memoized queries
+    (the SLRG share of the search phase's allocation, reported next to
+    {!query_ms}). *)
+val gc_minor_words : t -> float
+
+(** Major collections triggered inside non-memoized queries. *)
+val gc_major_collections : t -> int
 
 (** Queries answered from the solved or capped-bound caches without
     running an A*. *)

@@ -8,6 +8,10 @@ type t = {
   rel : int array array;
       (** per proposition: relevant supporting actions, ascending id *)
   seen : bool array;  (** scratch bitmap over action ids, false at rest *)
+  memo : (int, int array) Hashtbl.t;
+      (** per interned-set id: the candidate array, computed once — the
+          searches re-expand the same pending sets across queries, and
+          with hash-consed handles the cache probe is one int hash *)
 }
 
 let make (pb : Problem.t) plrg =
@@ -21,7 +25,11 @@ let make (pb : Problem.t) plrg =
         arr)
       pb.Problem.supports
   in
-  { rel; seen = Array.make (Array.length pb.Problem.actions) false }
+  {
+    rel;
+    seen = Array.make (Array.length pb.Problem.actions) false;
+    memo = Hashtbl.create 512;
+  }
 
 let candidates t (set : int array) =
   let acc = ref [] in
@@ -42,3 +50,11 @@ let candidates t (set : int array) =
   List.iter (fun aid -> t.seen.(aid) <- false) !acc;
   Array.sort Int.compare out;
   out
+
+let candidates_h t (h : Propset.handle) =
+  match Hashtbl.find_opt t.memo h.Propset.id with
+  | Some out -> out
+  | None ->
+      let out = candidates t h.Propset.set in
+      Hashtbl.replace t.memo h.Propset.id out;
+      out

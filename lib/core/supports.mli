@@ -16,3 +16,10 @@ val make : Problem.t -> Plrg.t -> t
     ids supporting at least one proposition of [set].  Not reentrant (one
     shared scratch bitmap), like the searches that call it. *)
 val candidates : t -> int array -> int array
+
+(** [candidates_h t h] is {!candidates} over an interned handle, memoized
+    on the handle's dense id (one int-keyed probe per revisit).  All
+    handles passed to one [t] must come from a single
+    {!Propset.Interner}; the caller must not mutate the returned array.
+    Not reentrant, like {!candidates}. *)
+val candidates_h : t -> Propset.handle -> int array

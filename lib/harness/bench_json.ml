@@ -10,6 +10,8 @@
 module Planner = Sekitei_core.Planner
 module Media = Sekitei_domains.Media
 module Json = Sekitei_util.Json
+module Timer = Sekitei_util.Timer
+module Domain_pool = Sekitei_util.Domain_pool
 
 type record = {
   scenario : string;
@@ -20,19 +22,47 @@ type record = {
   slrg_cache_hits : int;
   slrg_suffix_harvested : int;
   slrg_bound_promoted : int;
+  slrg_deferred : int;
+  slrg_saved : int;
   search_ms : float;
   compile_ms : float;
   plrg_ms : float;
   slrg_ms : float;
   rg_ms : float;
+  minor_words : float;
+  major_collections : int;
+  jobs : int;
+  wall_ms_batch : float;
 }
 
-let measure ?config (sc : Scenarios.t) level =
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort Float.compare a;
+  let n = Array.length a in
+  if n = 0 then 0.
+  else if n mod 2 = 1 then a.(n / 2)
+  else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+
+let measure ?config ?(repeat = 1) (sc : Scenarios.t) level =
+  let repeat = Stdlib.max 1 repeat in
   let leveling = Media.leveling level sc.Scenarios.app in
-  let r =
-    Planner.plan (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+  let runs =
+    List.init repeat (fun _ ->
+        (* Each timed run starts from a compacted heap: without this,
+           garbage left by earlier scenarios/repeats of the same process
+           charges its collection cost to whichever run happens to
+           allocate next, and the medians drift with measurement order. *)
+        Gc.compact ();
+        Planner.plan
+          (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling))
   in
-  let s = r.Planner.stats and ph = r.Planner.phases in
+  (* The planner is deterministic, so the counters agree across repeats;
+     they are read from the first run.  Timings (and the allocation
+     figure, which GC state can perturb) take the median — one noisy
+     run out of three no longer moves the checked-in record. *)
+  let first = List.hd runs in
+  let s = first.Planner.stats in
+  let med f = median (List.map f runs) in
   {
     scenario =
       Printf.sprintf "%s-%s" sc.Scenarios.name (Media.scenario_name level);
@@ -43,19 +73,34 @@ let measure ?config (sc : Scenarios.t) level =
     slrg_cache_hits = s.Planner.slrg_cache_hits;
     slrg_suffix_harvested = s.Planner.slrg_suffix_harvested;
     slrg_bound_promoted = s.Planner.slrg_bound_promoted;
-    search_ms = s.Planner.t_search_ms;
-    compile_ms = ph.Planner.compile.Planner.ms;
-    plrg_ms = ph.Planner.plrg.Planner.ms;
-    slrg_ms = ph.Planner.slrg.Planner.ms;
-    rg_ms = ph.Planner.rg.Planner.ms;
+    slrg_deferred = s.Planner.slrg_deferred;
+    slrg_saved = s.Planner.slrg_saved;
+    search_ms = med (fun r -> r.Planner.stats.Planner.t_search_ms);
+    compile_ms = med (fun r -> r.Planner.phases.Planner.compile.Planner.ms);
+    plrg_ms = med (fun r -> r.Planner.phases.Planner.plrg.Planner.ms);
+    slrg_ms = med (fun r -> r.Planner.phases.Planner.slrg.Planner.ms);
+    rg_ms = med (fun r -> r.Planner.phases.Planner.rg.Planner.ms);
+    minor_words =
+      med (fun r -> r.Planner.phases.Planner.rg.Planner.minor_words);
+    major_collections =
+      first.Planner.phases.Planner.rg.Planner.major_collections;
+    jobs = 1;
+    wall_ms_batch = 0.;
   }
 
-let run_default ?config () =
-  [
-    measure ?config (Scenarios.tiny ()) Media.C;
-    measure ?config (Scenarios.small ()) Media.C;
-    measure ?config (Scenarios.large ()) Media.C;
-  ]
+let run_default ?config ?(repeat = 1) ?(jobs = 1) () =
+  let t = Timer.start () in
+  let records =
+    Domain_pool.map ~jobs
+      (fun (sc, level) -> measure ?config ~repeat sc level)
+      [
+        (Scenarios.tiny (), Media.C);
+        (Scenarios.small (), Media.C);
+        (Scenarios.large (), Media.C);
+      ]
+  in
+  let wall_ms_batch = Timer.elapsed_ms t in
+  List.map (fun r -> { r with jobs; wall_ms_batch }) records
 
 (* Timings are rounded to microseconds so records stay diff-friendly. *)
 let ms v = Json.Float (Float.round (v *. 1000.) /. 1000.)
@@ -75,11 +120,17 @@ let record_to_json ?tag r =
         ("slrg_cache_hits", Json.Int r.slrg_cache_hits);
         ("slrg_suffix_harvested", Json.Int r.slrg_suffix_harvested);
         ("slrg_bound_promoted", Json.Int r.slrg_bound_promoted);
+        ("slrg_deferred", Json.Int r.slrg_deferred);
+        ("slrg_saved", Json.Int r.slrg_saved);
         ("search_ms", ms r.search_ms);
         ("compile_ms", ms r.compile_ms);
         ("plrg_ms", ms r.plrg_ms);
         ("slrg_ms", ms r.slrg_ms);
         ("rg_ms", ms r.rg_ms);
+        ("minor_words", Json.Float (Float.round r.minor_words));
+        ("major_collections", Json.Int r.major_collections);
+        ("jobs", Json.Int r.jobs);
+        ("wall_ms_batch", ms r.wall_ms_batch);
       ])
 
 let to_json ?tag records =
@@ -98,11 +149,17 @@ let required_keys =
     "\"slrg_cache_hits\"";
     "\"slrg_suffix_harvested\"";
     "\"slrg_bound_promoted\"";
+    "\"slrg_deferred\"";
+    "\"slrg_saved\"";
     "\"search_ms\"";
     "\"compile_ms\"";
     "\"plrg_ms\"";
     "\"slrg_ms\"";
     "\"rg_ms\"";
+    "\"minor_words\"";
+    "\"major_collections\"";
+    "\"jobs\"";
+    "\"wall_ms_batch\"";
   ]
 
 let contains hay needle =
@@ -154,10 +211,12 @@ let parse_check doc =
             | ("scenario" | "tag"), Json.Str _ -> None
             | ( ( "actions" | "rg_created" | "rg_expanded" | "rg_duplicates"
                 | "slrg_cache_hits" | "slrg_suffix_harvested"
-                | "slrg_bound_promoted" ),
+                | "slrg_bound_promoted" | "slrg_deferred" | "slrg_saved"
+                | "major_collections" | "jobs" ),
                 Json.Int _ ) ->
                 None
-            | ( ("search_ms" | "compile_ms" | "plrg_ms" | "slrg_ms" | "rg_ms"),
+            | ( ( "search_ms" | "compile_ms" | "plrg_ms" | "slrg_ms" | "rg_ms"
+                | "minor_words" | "wall_ms_batch" ),
                 (Json.Float _ | Json.Int _) ) ->
                 None
             | _ -> Some k)
@@ -166,7 +225,9 @@ let parse_check doc =
         [
           "scenario"; "actions"; "rg_created"; "rg_expanded"; "rg_duplicates";
           "slrg_cache_hits"; "slrg_suffix_harvested"; "slrg_bound_promoted";
-          "search_ms"; "compile_ms"; "plrg_ms"; "slrg_ms"; "rg_ms";
+          "slrg_deferred"; "slrg_saved"; "search_ms"; "compile_ms"; "plrg_ms";
+          "slrg_ms"; "rg_ms"; "minor_words"; "major_collections"; "jobs";
+          "wall_ms_batch";
         ]
       in
       let rec go i = function

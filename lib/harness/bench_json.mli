@@ -3,10 +3,12 @@
     Emits one flat JSON object per (scenario, level) pair —
     [{scenario, actions, rg_created, rg_expanded, rg_duplicates,
     slrg_cache_hits, slrg_suffix_harvested, slrg_bound_promoted,
-    search_ms, compile_ms, plrg_ms, slrg_ms, rg_ms}] — collected into a
-    JSON array written to [BENCH_rg.json] so the planner's perf
-    trajectory (including the per-phase split and the SLRG cache reuse
-    counters) is tracked across commits. *)
+    slrg_deferred, slrg_saved, search_ms, compile_ms, plrg_ms, slrg_ms,
+    rg_ms, minor_words, major_collections, jobs, wall_ms_batch}] —
+    collected into a JSON array written to [BENCH_rg.json] so the
+    planner's perf trajectory (per-phase split, SLRG cache reuse,
+    deferred-evaluation savings, search-phase GC footprint) is tracked
+    across commits. *)
 
 type record = {
   scenario : string;  (** e.g. ["Small-C"] *)
@@ -17,6 +19,8 @@ type record = {
   slrg_cache_hits : int;  (** SLRG queries answered from cache *)
   slrg_suffix_harvested : int;  (** harvested exact cache entries *)
   slrg_bound_promoted : int;  (** exhausted bounds promoted to exact *)
+  slrg_deferred : int;  (** RG nodes queued under the cheap PLRG bound *)
+  slrg_saved : int;  (** SLRG queries never run thanks to deferral *)
   search_ms : float;  (** graph phases total (plrg + slrg create + rg) *)
   compile_ms : float;  (** {!Sekitei_core.Planner.phases} [compile.ms] *)
   plrg_ms : float;
@@ -24,17 +28,39 @@ type record = {
       (** oracle construction + lazy queries; the queries run {e inside}
           the RG search, so [slrg_ms] is a subset of [rg_ms] *)
   rg_ms : float;
+  minor_words : float;
+      (** minor-heap words allocated by the RG search phase (its bracket
+          includes the lazy SLRG queries) *)
+  major_collections : int;  (** major GCs triggered by the RG search *)
+  jobs : int;  (** worker domains of the batch that produced the record *)
+  wall_ms_batch : float;
+      (** wall time of the whole batch run, stamped identically on every
+          record of one {!run_default}; with [jobs > 1] compare it to the
+          sum of [search_ms] to read the parallel speedup *)
 }
 
-(** Solve the scenario at the given level and collect its record. *)
+(** Solve the scenario at the given level and collect its record.
+    [repeat] (default 1) re-runs the planner and records the {e median}
+    of every timing (and of [minor_words]); counters come from the first
+    run — the planner is deterministic, so they agree across repeats. *)
 val measure :
   ?config:Sekitei_core.Planner.config ->
+  ?repeat:int ->
   Scenarios.t ->
   Sekitei_domains.Media.scenario ->
   record
 
-(** The default tracked set: Tiny-C, Small-C and Large-C. *)
-val run_default : ?config:Sekitei_core.Planner.config -> unit -> record list
+(** The default tracked set: Tiny-C, Small-C and Large-C, measured
+    across [jobs] worker domains (default 1 — sequential, the
+    configuration whose timings the regression gate compares; parallel
+    runs contend for cores and time the contention too).  Stamps [jobs]
+    and [wall_ms_batch] on every record. *)
+val run_default :
+  ?config:Sekitei_core.Planner.config ->
+  ?repeat:int ->
+  ?jobs:int ->
+  unit ->
+  record list
 
 (** Serialize as a JSON array, one record per line.  [tag] adds a
     ["tag"] field to every record (e.g. a commit phase label). *)

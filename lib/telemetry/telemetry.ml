@@ -141,6 +141,14 @@ let memory () =
   ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
     fun () -> List.rev !events )
 
+let locked s =
+  let m = Mutex.create () in
+  let guarded f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { emit = guarded s.emit; close = (fun () -> guarded s.close ()) }
+
 let pp_value fmt = function
   | Bool b -> Format.pp_print_bool fmt b
   | Int i -> Format.pp_print_int fmt i

@@ -101,6 +101,14 @@ val sink : ?close:(unit -> unit) -> (event -> unit) -> sink
     yielding the events captured so far, in emission order. *)
 val memory : unit -> sink * (unit -> event list)
 
+(** [locked s] wraps [s] so that [emit] and [close] hold a private mutex
+    — a sink shared by several domains (e.g. one JSONL channel receiving
+    events from the batch planner's workers) must be wrapped or its
+    events interleave mid-line.  Events from different domains arrive in
+    lock-acquisition order, which is {e not} deterministic; per-worker
+    {!memory} sinks are the alternative when order matters. *)
+val locked : sink -> sink
+
 (** Renders events through the [logs] library (source
     ["sekitei.telemetry"], level [Info]). *)
 val logs_sink : unit -> sink

@@ -64,11 +64,12 @@ let sift_down h i e =
   done;
   h.data.(!i) <- Some e
 
-let add h ~prio ?(prio2 = 0.) value =
+let add h ~prio ?(prio2 = 0.) ?seq value =
   if Float.is_nan prio then invalid_arg "Heap.add: NaN priority";
   if Float.is_nan prio2 then invalid_arg "Heap.add: NaN secondary priority";
   if h.size = Array.length h.data then grow h;
-  let e = { prio; prio2; seq = h.next_seq; value } in
+  let seq = match seq with Some s -> s | None -> h.next_seq in
+  let e = { prio; prio2; seq; value } in
   h.next_seq <- h.next_seq + 1;
   h.size <- h.size + 1;
   sift_up h (h.size - 1) e

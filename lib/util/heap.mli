@@ -16,12 +16,17 @@ val create_sized : int -> 'a t
 val is_empty : 'a t -> bool
 val length : 'a t -> int
 
-(** [add h ~prio ?prio2 x] inserts [x] with priority [prio]; [prio2]
+(** [add h ~prio ?prio2 ?seq x] inserts [x] with priority [prio]; [prio2]
     (default 0) breaks priority ties before insertion order — A* searches
-    pass [-g] to prefer deeper nodes on f-plateaus.  Raises
+    pass [-g] to prefer deeper nodes on f-plateaus.  [seq] overrides the
+    final insertion-order tie key (by default the heap's own insertion
+    counter): a search that removes and re-inserts an entry with a
+    corrected priority passes the entry's original sequence number so
+    deterministic tie-breaking is preserved across the re-insertion
+    (deferred heuristic evaluation relies on this).  Raises
     [Invalid_argument] when either priority is NaN (a NaN would poison
     the ordering comparisons and silently corrupt the heap). *)
-val add : 'a t -> prio:float -> ?prio2:float -> 'a -> unit
+val add : 'a t -> prio:float -> ?prio2:float -> ?seq:int -> 'a -> unit
 
 (** Minimum-priority element, FIFO among ties.  [None] when empty. *)
 val peek : 'a t -> ('a * float) option

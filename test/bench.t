@@ -8,10 +8,23 @@ entry point); the default tracked set is Tiny-C, Small-C and Large-C:
   $ grep -c '"scenario"' bench.json
   3
 
-Every record carries the SLRG cache reuse counters:
+Every record carries the SLRG cache reuse counters, the deferred-
+evaluation counters, the per-phase GC figures and the batch fields:
 
   $ grep -c '"slrg_cache_hits"' bench.json
   3
+  $ grep -c '"slrg_deferred"' bench.json
+  3
+  $ grep -c '"minor_words"' bench.json
+  3
+  $ grep -c '"jobs": 1' bench.json
+  3
+
+--repeat N times each scenario N times and records the median (counters
+come from the first run; they are identical across repeats anyway):
+
+  $ ../bench/main.exe --json --check --repeat 2 --out repeat.json
+  bench json: 3 records ok
 
 --baseline diffs the run against a checked-in baseline and gates on
 regression.  Against the just-written baseline everything is within

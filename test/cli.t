@@ -30,6 +30,13 @@ Spec files validate and plan:
   place Viewer on tv.
   LAN peak 10, WAN peak 10; delivered:
 
+Batch mode plans many spec files in one invocation (--jobs picks the
+worker-domain count; output order is always argument order):
+
+  $ sekitei batch --jobs 2 spec.file spec.file
+  spec.file: plan cost 9.6 (4 actions)
+  spec.file: plan cost 9.6 (4 actions)
+
 Table 1 prints the level scenarios:
 
   $ sekitei table1 | grep "| C"

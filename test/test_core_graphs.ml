@@ -224,9 +224,62 @@ let test_slrg_harvest_agrees_with_fresh () =
       Alcotest.(check bool) "harvested entry agrees" true agree);
   Alcotest.(check bool) "solved cache non-trivial" true (!checked > 1)
 
+(* ---------------- Propset interner ---------------- *)
+
+module Propset = Sekitei_core.Propset
+
+let test_interner_canonicalizes () =
+  let i = Propset.Interner.create () in
+  let h1 = Propset.Interner.intern i [| 1; 4; 9 |] in
+  let h2 = Propset.Interner.intern i [| 1; 4; 9 |] in
+  Alcotest.(check int) "same id for equal sets" h1.Propset.id h2.Propset.id;
+  Alcotest.(check bool) "physically shared representative" true
+    (h1.Propset.set == h2.Propset.set);
+  let h3 = Propset.Interner.intern i [| 1; 4 |] in
+  Alcotest.(check bool) "distinct sets get distinct ids" true
+    (h3.Propset.id <> h1.Propset.id);
+  Alcotest.(check int) "two distinct sets interned" 2 (Propset.Interner.size i)
+
+let test_interner_dense_ids () =
+  let i = Propset.Interner.create () in
+  let sets = [ [| 0 |]; [| 0; 1 |]; [| 2; 5; 7 |]; [||] ] in
+  List.iteri
+    (fun k s ->
+      let h = Propset.Interner.intern i s in
+      Alcotest.(check int) "ids are dense in first-seen order" k h.Propset.id;
+      let back = Propset.Interner.get i h.Propset.id in
+      Alcotest.(check bool) "get returns the registered handle" true
+        (back.Propset.set == h.Propset.set))
+    sets;
+  Alcotest.(check bool) "unknown id rejected" true
+    (match Propset.Interner.get i 99 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ctx_regress_memo_interns () =
+  let pb = tiny Media.C in
+  let ctx = Propset.make_ctx pb in
+  let goal =
+    Propset.intern ctx
+      (Propset.canonical_array pb pb.Problem.goal_props)
+  in
+  let a = pb.Problem.actions.(0) in
+  let r1 = Propset.regress_h ctx goal a in
+  let r2 = Propset.regress_h ctx goal a in
+  Alcotest.(check int) "memoized regression returns same handle"
+    r1.Propset.id r2.Propset.id;
+  Alcotest.(check bool) "regression result is canonical" true
+    (Propset.equal r1.Propset.set
+       (Propset.canonical_array pb r1.Propset.set));
+  Alcotest.(check bool) "ids stay below interned count" true
+    (r1.Propset.id < Propset.interned_count ctx)
+
 let suite =
   [
     ("plrg init props cost zero", `Quick, test_init_props_cost_zero);
+    ("interner canonicalizes", `Quick, test_interner_canonicalizes);
+    ("interner dense ids", `Quick, test_interner_dense_ids);
+    ("ctx regression memo interns", `Quick, test_ctx_regress_memo_interns);
     ("plrg goal reachable", `Quick, test_goal_reachable);
     ("plrg goal unreachable partitioned", `Quick, test_goal_unreachable_partitioned);
     ("plrg admissible", `Quick, test_costs_admissible);

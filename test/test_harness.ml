@@ -170,11 +170,17 @@ let bench_record ?(scenario = "Tiny-C") ?(search_ms = 10.) ?(rg_created = 100)
     slrg_cache_hits = 14;
     slrg_suffix_harvested = 15;
     slrg_bound_promoted = 8;
+    slrg_deferred = 90;
+    slrg_saved = 70;
     search_ms;
     compile_ms = 0.1;
     plrg_ms = 0.02;
     slrg_ms;
     rg_ms = 9.;
+    minor_words = 120_000.;
+    major_collections = 1;
+    jobs = 1;
+    wall_ms_batch = 11.;
   }
 
 let test_baseline_diff () =

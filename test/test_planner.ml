@@ -288,6 +288,50 @@ let test_stats_populated () =
   Alcotest.(check bool) "rg" true (s.Planner.rg_created > 0);
   Alcotest.(check bool) "time" true (s.Planner.t_total_ms >= 0.)
 
+(* ---------------- batch executor ---------------- *)
+
+let batch_requests () =
+  List.concat_map
+    (fun level ->
+      List.map
+        (fun (sc : Scenarios.t) ->
+          let leveling = Media.leveling level sc.Scenarios.app in
+          Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)
+        [ Scenarios.tiny (); Scenarios.small () ])
+    [ Media.B; Media.C ]
+
+let test_plan_batch_matches_sequential () =
+  (* Parallel batch planning must be observationally identical to mapping
+     [plan] sequentially: same plans, same costs, same search stats, in
+     input order. *)
+  let seq = List.map Planner.plan (batch_requests ()) in
+  List.iter
+    (fun jobs ->
+      let par = Planner.plan_batch ~jobs (batch_requests ()) in
+      Alcotest.(check int)
+        "one report per request" (List.length seq) (List.length par);
+      List.iter2
+        (fun (a : Planner.report) (b : Planner.report) ->
+          (match (a.Planner.result, b.Planner.result) with
+          | Ok p1, Ok p2 ->
+              Alcotest.(check (list string))
+                "same plan" (Plan.labels p1) (Plan.labels p2);
+              Alcotest.(check (float 1e-9))
+                "same cost" p1.Plan.cost_lb p2.Plan.cost_lb
+          | Error r1, Error r2 ->
+              Alcotest.(check bool) "same failure" true (r1 = r2)
+          | _ -> Alcotest.fail "sequential and batch outcomes diverge");
+          Alcotest.(check int) "same rg_created" a.Planner.stats.Planner.rg_created
+            b.Planner.stats.Planner.rg_created;
+          Alcotest.(check int) "same rg_expanded"
+            a.Planner.stats.Planner.rg_expanded
+            b.Planner.stats.Planner.rg_expanded)
+        seq par)
+    [ 1; 2; 4 ]
+
+let test_plan_batch_empty () =
+  Alcotest.(check int) "empty batch" 0 (List.length (Planner.plan_batch []))
+
 (* ---------------- postprocess ---------------- *)
 
 let test_postprocess_minimizes () =
@@ -332,6 +376,8 @@ let suite =
     ("insufficient cpu everywhere", `Quick, test_insufficient_cpu_everywhere);
     ("direct plan when wide enough", `Quick, test_direct_when_wide_enough);
     ("stats populated", `Quick, test_stats_populated);
+    ("plan_batch matches sequential", `Quick, test_plan_batch_matches_sequential);
+    ("plan_batch empty", `Quick, test_plan_batch_empty);
     ("postprocess minimizes", `Quick, test_postprocess_minimizes);
     ("postprocess rejects invalid", `Quick, test_postprocess_rejects_invalid);
   ]

@@ -442,6 +442,47 @@ let prop_slrg_harvest_agrees =
         !ok
       end)
 
+(* ---------------- deferred heuristic is outcome-identical ---------------- *)
+
+(* Deferred (two-stage) SLRG evaluation re-derives the exact eager
+   expansion order — same plan, same cost bound, same nodes created,
+   expanded and deduplicated — because a node is only processed once its
+   refined f-value is proven minimal in the frontier.  Anything short of
+   bit-identity here would void the optimality argument, so the property
+   compares every observable except the defer counters themselves. *)
+let prop_defer_identical =
+  Q.Test.make ~count:15 ~name:"deferred h replays the eager search exactly"
+    arb_instance
+    (fun inst ->
+      let topo, app, leveling = media_line_instance inst in
+      let run defer_h =
+        let config =
+          {
+            Planner.default_config with
+            Planner.rg_max_expansions = 5_000;
+            defer_h;
+          }
+        in
+        Planner.plan (Planner.request ~config topo app ~leveling)
+      in
+      let eager = run false and deferred = run true in
+      let same_result =
+        match (eager.Planner.result, deferred.Planner.result) with
+        | Ok p1, Ok p2 ->
+            Plan.labels p1 = Plan.labels p2
+            && p1.Plan.cost_lb = p2.Plan.cost_lb
+        | Error r1, Error r2 -> r1 = r2
+        | _ -> false
+      in
+      let s1 = eager.Planner.stats and s2 = deferred.Planner.stats in
+      same_result
+      && s1.Planner.rg_created = s2.Planner.rg_created
+      && s1.Planner.rg_expanded = s2.Planner.rg_expanded
+      && s1.Planner.rg_duplicates = s2.Planner.rg_duplicates
+      && s1.Planner.order_repaired = s2.Planner.order_repaired
+      && s2.Planner.slrg_saved >= 0
+      && s1.Planner.slrg_deferred = 0)
+
 (* ---------------- leveling propagation property ---------------- *)
 
 let prop_propagation_wellformed =
@@ -487,5 +528,6 @@ let suite =
       prop_h_admissible;
       prop_repair_equals_bruteforce;
       prop_slrg_harvest_agrees;
+      prop_defer_identical;
       prop_propagation_wellformed;
     ]

@@ -1,9 +1,11 @@
-(* Unit tests for Union_find, Running_stats, Ascii_table and Timer. *)
+(* Unit tests for Union_find, Running_stats, Ascii_table, Timer and
+   Domain_pool. *)
 
 module UF = Sekitei_util.Union_find
 module RS = Sekitei_util.Running_stats
 module Table = Sekitei_util.Ascii_table
 module Timer = Sekitei_util.Timer
+module Pool = Sekitei_util.Domain_pool
 
 (* ---------------- Union_find ---------------- *)
 
@@ -183,9 +185,67 @@ let test_timer_time () =
   Alcotest.(check int) "result" 42 result;
   Alcotest.(check bool) "ms non-negative" true (ms >= 0.)
 
+(* ---------------- Domain_pool ---------------- *)
+
+exception Boom of int
+
+let test_pool_preserves_order () =
+  let xs = List.init 100 Fun.id in
+  let expect = List.map (fun x -> (2 * x) + 1) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "ordered results with jobs=%d" jobs)
+        expect
+        (Pool.map ~jobs (fun x -> (2 * x) + 1) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_pool_jobs_one_sequential () =
+  (* jobs=1 must be a plain List.map on the calling domain: effects run
+     left to right, exactly once each. *)
+  let trace = ref [] in
+  let out =
+    Pool.map ~jobs:1
+      (fun x ->
+        trace := x :: !trace;
+        x * x)
+      [ 3; 1; 4; 1; 5 ]
+  in
+  Alcotest.(check (list int)) "results" [ 9; 1; 16; 1; 25 ] out;
+  Alcotest.(check (list int)) "left-to-right effects" [ 3; 1; 4; 1; 5 ]
+    (List.rev !trace)
+
+let test_pool_empty_and_clamp () =
+  Alcotest.(check (list int)) "empty input" [] (Pool.map ~jobs:8 Fun.id []);
+  Alcotest.(check (list int))
+    "jobs clamped to list length" [ 10 ]
+    (Pool.map ~jobs:8 (fun x -> 10 * x) [ 1 ]);
+  Alcotest.(check bool) "default jobs positive" true (Pool.default_jobs () >= 1)
+
+let test_pool_exception_propagates () =
+  List.iter
+    (fun jobs ->
+      match
+        Pool.map ~jobs
+          (fun x -> if x mod 3 = 2 then raise (Boom x) else x)
+          (List.init 20 Fun.id)
+      with
+      | _ -> Alcotest.failf "jobs=%d: expected Boom" jobs
+      | exception Boom x ->
+          (* The earliest-index failure wins regardless of domain
+             scheduling. *)
+          Alcotest.(check int)
+            (Printf.sprintf "earliest failure with jobs=%d" jobs)
+            2 x)
+    [ 1; 3 ]
+
 let suite =
   [
     ("union-find singletons", `Quick, test_uf_singletons);
+    ("pool preserves order", `Quick, test_pool_preserves_order);
+    ("pool jobs=1 sequential", `Quick, test_pool_jobs_one_sequential);
+    ("pool empty and clamp", `Quick, test_pool_empty_and_clamp);
+    ("pool exception propagates", `Quick, test_pool_exception_propagates);
     ("union-find union", `Quick, test_uf_union);
     ("union-find transitive", `Quick, test_uf_transitive);
     ("stats basic", `Quick, test_rs_basic);
