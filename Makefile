@@ -15,15 +15,15 @@ check:
 	$(MAKE) bench-gate
 
 # Regression gate: rerun the tracked scenarios and fail if any gated
-# metric (search_ms, rg_created, slrg_ms) regressed >200% against
-# BENCH_rg.json.  The timing threshold is deliberately loose — the small
-# scenarios finish in well under a millisecond, where run-to-run noise
-# is large — while rg_created is exactly reproducible, so an algorithmic
-# search-space blowup trips the gate on any hardware.  After an
-# intentional perf change, refresh the baseline with `make bench-json`
-# and commit the BENCH_rg.json diff.
+# metric (search_ms, rg_created, slrg_ms, warm_search_ms) regressed
+# >200% against BENCH_rg.json.  The timing threshold is deliberately
+# loose — the small scenarios finish in well under a millisecond, where
+# run-to-run noise is large — while rg_created is exactly reproducible,
+# so an algorithmic search-space blowup trips the gate on any hardware.
+# After an intentional perf change, refresh the baseline with
+# `make bench-json` and commit the BENCH_rg.json diff.
 bench-gate:
-	dune exec bench/main.exe -- --json --check --repeat 3 --jobs 1 \
+	dune exec bench/main.exe -- --json --check --repeat 3 --jobs 1 --warm \
 	  --out /tmp/sekitei_bench_gate.json \
 	  --baseline BENCH_rg.json --max-regress 200
 
@@ -35,9 +35,11 @@ bench:
 # The perf trajectory of the RG search is tracked across commits there.
 # Timings are the median of 3 repeats (first-run JIT/GC noise dominates
 # single-shot numbers); --jobs 1 keeps the recorded timings sequential —
-# the same configuration the bench-gate measures against.
+# the same configuration the bench-gate measures against.  --warm also
+# records warm_search_ms, the search time of a session re-plan that
+# reuses the compiled problem and the hot SLRG oracle.
 bench-json:
-	dune exec bench/main.exe -- --json --tag pr6 --repeat 3 --jobs 1
+	dune exec bench/main.exe -- --json --tag pr7 --repeat 3 --jobs 1 --warm
 
 # Profile the Small-C run: trace every planner phase to JSONL and render
 # the span tree / counter summary.

@@ -185,7 +185,7 @@ let microbenches () =
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable mode: --json [--tag TAG] [--out FILE] [--check]    *)
-(*                        [--repeat N] [--jobs N]                      *)
+(*                        [--repeat N] [--jobs N] [--warm]             *)
 (*                        [--baseline FILE [--max-regress PCT]]        *)
 (* ------------------------------------------------------------------ *)
 
@@ -234,7 +234,9 @@ let json_mode () =
     | j when j >= 1 -> j
     | _ -> Sekitei_util.Domain_pool.default_jobs ()
   in
-  let records = Bench_json.run_default ~repeat ~jobs () in
+  (* --warm additionally times session re-plans (warm_search_ms). *)
+  let warm = List.mem "--warm" argv in
+  let records = Bench_json.run_default ~repeat ~jobs ~warm () in
   let doc = Bench_json.to_json ?tag records in
   Bench_json.write_file out doc;
   (if check then

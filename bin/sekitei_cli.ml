@@ -105,10 +105,17 @@ let hquality_arg =
 
 let eager_h_arg =
   let doc = "Disable lazy two-stage heuristic evaluation: run the SLRG \
-             oracle on every generated RG node instead of on pop.  Plans \
-             and cost bounds are bit-identical either way; the flag \
-             exists for A/B timing of the deferral." in
+             oracle on every generated RG node instead of on pop.  \
+             Solvability and the optimal cost bound are identical either \
+             way; the flag exists for A/B timing of the deferral." in
   Arg.(value & flag & info [ "eager-h" ] ~doc)
+
+let deadline_arg =
+  let doc = "Per-request wall-clock deadline in milliseconds.  An \
+             expired request stops gracefully with a Deadline_exceeded \
+             failure carrying the interrupted phase and, when the search \
+             frontier was reached, an admissible cost lower bound." in
+  Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
 
 (* Assemble the run's telemetry handle from --trace/--progress; returns the
    handle and a finalizer that flushes and closes the sinks. *)
@@ -151,14 +158,15 @@ let scenario_of = function
   | `Small -> Scenarios.small ()
   | `Large -> Scenarios.large ()
 
-let config_of ?(explain = false) ?(profile_h = false) ?(defer_h = true) rg slrg
-    =
+let config_of ?(explain = false) ?(profile_h = false) ?(defer_h = true)
+    ?deadline_ms rg slrg =
   { Planner.default_config with
     Planner.rg_max_expansions = rg;
     slrg_query_budget = slrg;
     explain;
     profile_h;
-    defer_h }
+    defer_h;
+    deadline_ms }
 
 (* ------------------------------------------------------------------ *)
 (* plan                                                                *)
@@ -191,7 +199,7 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
             (Topology.get_node pb.Sekitei_core.Problem.topo n).Topology.node_name
             v)
         m.Replay.delivered
-  | Error r -> Format.printf "No plan: %a@." Planner.pp_failure_reason r);
+  | Error r -> Format.printf "No plan: %a@." Planner.pp_failure r);
   (match report.Planner.explanation with
   | Some ex ->
       Format.printf "Explanation:@.%s" (Sekitei_core.Explain.render ex)
@@ -209,11 +217,12 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
   match report.Planner.result with Ok _ -> 0 | Error _ -> 1
 
 let plan_cmd =
-  let run spec network levels seed rg slrg dot_file audit suggest trace
-      progress explain hquality eager_h verbose =
+  let run spec network levels seed rg slrg deadline dot_file audit suggest
+      trace progress explain hquality eager_h verbose =
     setup_logs verbose;
     let config =
-      config_of ~explain ~profile_h:hquality ~defer_h:(not eager_h) rg slrg
+      config_of ~explain ~profile_h:hquality ~defer_h:(not eager_h)
+        ?deadline_ms:deadline rg slrg
     in
     let telemetry, finish_telemetry = telemetry_of trace progress in
     let code =
@@ -263,9 +272,9 @@ let plan_cmd =
   let term =
     Term.(
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
-      $ slrg_budget_arg $ deployment_dot_arg $ audit_arg $ suggest_arg
-      $ trace_arg $ progress_arg $ explain_arg $ hquality_arg $ eager_h_arg
-      $ verbose_arg)
+      $ slrg_budget_arg $ deadline_arg $ deployment_dot_arg $ audit_arg
+      $ suggest_arg $ trace_arg $ progress_arg $ explain_arg $ hquality_arg
+      $ eager_h_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
 
@@ -333,7 +342,7 @@ let batch_cmd =
             | Error reason ->
                 incr failed;
                 Format.printf "%s: no plan: %a@." file
-                  Planner.pp_failure_reason reason)
+                  Planner.pp_failure reason)
           named reports;
         if !failed = 0 then 0 else 1
   in
@@ -345,6 +354,191 @@ let batch_cmd =
     Term.(
       const run $ files $ jobs_arg $ rg_budget_arg $ slrg_budget_arg
       $ eager_h_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* session                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Session = Planner.Session
+
+exception Script_error of int * string
+
+(* One parsed script line.  The grammar is deliberately tiny:
+     plan
+     update set-node <node> <resource> <value>
+     update set-link <link> <resource> <value>
+     update remove-link <link>
+     update fail-node <node>
+   Blank lines and `#` comments are skipped.  Node and link operands are
+   integer ids in the session's *current* topology (removals renumber the
+   surviving links densely, exactly as the library's Mutate does). *)
+type script_cmd = Do_plan | Do_update of Session.delta
+
+let parse_script file =
+  let ic = open_in file in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let cmds = ref [] and lineno = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let fail msg = raise (Script_error (!lineno, msg)) in
+           let int_of what s =
+             match int_of_string_opt s with
+             | Some v -> v
+             | None -> fail (Printf.sprintf "bad %s %S" what s)
+           in
+           let float_of what s =
+             match float_of_string_opt s with
+             | Some v -> v
+             | None -> fail (Printf.sprintf "bad %s %S" what s)
+           in
+           match
+             String.split_on_char ' ' line
+             |> List.concat_map (String.split_on_char '\t')
+             |> List.filter (fun t -> t <> "")
+           with
+           | [] -> ()
+           | comment :: _ when String.length comment > 0 && comment.[0] = '#'
+             ->
+               ()
+           | [ "plan" ] -> cmds := (!lineno, Do_plan) :: !cmds
+           | [ "update"; "set-node"; n; res; v ] ->
+               cmds :=
+                 ( !lineno,
+                   Do_update
+                     (Session.Set_node_resource
+                        {
+                          node = int_of "node id" n;
+                          resource = res;
+                          value = float_of "value" v;
+                        }) )
+                 :: !cmds
+           | [ "update"; "set-link"; l; res; v ] ->
+               cmds :=
+                 ( !lineno,
+                   Do_update
+                     (Session.Set_link_resource
+                        {
+                          link = int_of "link id" l;
+                          resource = res;
+                          value = float_of "value" v;
+                        }) )
+                 :: !cmds
+           | [ "update"; "remove-link"; l ] ->
+               cmds :=
+                 ( !lineno,
+                   Do_update (Session.Remove_link { link = int_of "link id" l })
+                 )
+                 :: !cmds
+           | [ "update"; "fail-node"; n ] ->
+               cmds :=
+                 ( !lineno,
+                   Do_update (Session.Fail_node { node = int_of "node id" n })
+                 )
+                 :: !cmds
+           | first :: _ ->
+               fail
+                 (Printf.sprintf "unknown command %S (expected plan/update)"
+                    first)
+         done
+       with End_of_file -> ());
+      List.rev !cmds)
+
+let render_delta = function
+  | Session.Set_node_resource { node; resource; value } ->
+      Printf.sprintf "set-node %d %s %g" node resource value
+  | Session.Set_link_resource { link; resource; value } ->
+      Printf.sprintf "set-link %d %s %g" link resource value
+  | Session.Remove_link { link } -> Printf.sprintf "remove-link %d" link
+  | Session.Fail_node { node } -> Printf.sprintf "fail-node %d" node
+
+let session_cmd =
+  let script_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SCRIPT"
+          ~doc:
+            "Session script: one command per line — $(b,plan), $(b,update \
+             set-node N RES V), $(b,update set-link L RES V), $(b,update \
+             remove-link L), $(b,update fail-node N); blank lines and \
+             $(b,#) comments are ignored.")
+  in
+  let spec_req_arg =
+    let doc = "CPP specification file (DSL) the session plans against." in
+    Arg.(
+      required & opt (some file) None & info [ "spec"; "s" ] ~docv:"FILE" ~doc)
+  in
+  let run spec script rg slrg deadline verbose =
+    setup_logs verbose;
+    match Dsl.load_file spec with
+    | exception Dsl.Dsl_error msg ->
+        Format.eprintf "spec error: %s@." msg;
+        2
+    | doc -> (
+        match doc.Dsl.topo with
+        | None ->
+            Format.eprintf "spec file has no network block@.";
+            2
+        | Some topo -> (
+            match parse_script script with
+            | exception Script_error (line, msg) ->
+                Format.eprintf "%s:%d: %s@." script line msg;
+                2
+            | cmds ->
+                let config = config_of ?deadline_ms:deadline rg slrg in
+                let session =
+                  Session.create
+                    (Planner.request ~config topo doc.Dsl.app
+                       ~leveling:doc.Dsl.leveling)
+                in
+                let plans = ref 0 and failed = ref 0 in
+                List.iter
+                  (fun (_line, cmd) ->
+                    match cmd with
+                    | Do_plan ->
+                        incr plans;
+                        let warm = Session.is_warm session in
+                        let r = Session.plan session in
+                        let s = r.Session.stats in
+                        let temperature = if warm then "warm" else "cold" in
+                        (match r.Session.result with
+                        | Ok p ->
+                            Format.printf
+                              "plan %d (%s): cost %g (%d actions), \
+                               invalidated=%d evicted=%d@."
+                              !plans temperature p.Plan.cost_lb (Plan.length p)
+                              s.Session.invalidated_actions
+                              s.Session.evicted_entries
+                        | Error reason ->
+                            incr failed;
+                            Format.printf
+                              "plan %d (%s): no plan: %a, invalidated=%d \
+                               evicted=%d@."
+                              !plans temperature Session.pp_failure reason
+                              s.Session.invalidated_actions
+                              s.Session.evicted_entries)
+                    | Do_update delta ->
+                        ignore (Session.update session delta);
+                        Format.printf "update %s: ok (%d nodes, %d links)@."
+                          (render_delta delta)
+                          (Topology.node_count (Session.topology session))
+                          (Topology.link_count (Session.topology session)))
+                  cmds;
+                if !failed = 0 then 0 else 1))
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "Run a long-lived planning session from a script of plan/update \
+          commands (warm replans reuse compiled state and the cost-oracle \
+          cache across requests)")
+    Term.(
+      const run $ spec_req_arg $ script_arg $ rg_budget_arg $ slrg_budget_arg
+      $ deadline_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -494,8 +688,8 @@ let main =
     (Cmd.info "sekitei" ~version:"1.0.0"
        ~doc:"Resource-aware deployment planning for component-based applications")
     [
-      plan_cmd; batch_cmd; validate_cmd; table1_cmd; table2_cmd; figure_cmd;
-      topology_cmd;
+      plan_cmd; batch_cmd; session_cmd; validate_cmd; table1_cmd; table2_cmd;
+      figure_cmd; topology_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

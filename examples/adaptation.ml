@@ -23,6 +23,10 @@ module Redeploy = Sekitei_core.Redeploy
 
 module Mutate = Sekitei_network.Mutate
 
+(* Iterating the original topology's link ids while folding mutations is
+   safe here because set_link_resource never renumbers; after a
+   remove_link or fail_node the held ids would be stale (translate them
+   with Mutate.renumber_map). *)
 let degrade_wan topo new_bw =
   Array.fold_left
     (fun acc (l : Topology.link) ->
@@ -39,7 +43,7 @@ let () =
   let leveling = Media.leveling Media.D sc.Scenarios.app in
   let pb0 = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
   match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
-  | Error r -> Format.printf "initial planning failed: %a@." Planner.pp_failure_reason r
+  | Error r -> Format.printf "initial planning failed: %a@." Planner.pp_failure r
   | Ok p0 ->
       Format.printf "Initial deployment (%d actions, cost bound %g):@.%s@.@."
         (Plan.length p0) p0.Plan.cost_lb (Plan.to_string pb0 p0);
@@ -61,7 +65,7 @@ let () =
               (Plan.length p) p.Plan.cost_lb;
             Format.printf "%a@." Redeploy.pp_diff (Redeploy.diff ~previous pb p)
         | Error r ->
-            Format.printf "no feasible adaptation: %a@." Planner.pp_failure_reason r);
+            Format.printf "no feasible adaptation: %a@." Planner.pp_failure r);
         Format.printf "@."
       in
       adapt "WAN degrades 70 -> 66 (placement survives)"

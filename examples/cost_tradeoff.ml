@@ -35,5 +35,5 @@ let () =
           Format.printf "%-18g %-10d %-12g %s@." alpha (Plan.length p)
             p.Plan.cost_lb
             (if zip then "narrow + Zip/Unzip" else "wide, no processing")
-      | Error r -> Format.printf "%-18g no plan (%a)@." alpha Planner.pp_failure_reason r)
+      | Error r -> Format.printf "%-18g no plan (%a)@." alpha Planner.pp_failure r)
     [ 0.25; 0.5; 0.75; 1.0; 1.05; 1.1; 1.25; 1.5; 2.0; 4.0 ]

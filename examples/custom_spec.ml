@@ -76,4 +76,4 @@ let () =
       (* The printer round-trips, so specs can be generated too. *)
       Format.printf "@.Round-tripped spec is %d bytes of DSL text.@."
         (String.length (Dsl.print_document ~topo doc.Dsl.app doc.Dsl.leveling))
-  | Error r -> Format.printf "no plan: %a@." Planner.pp_failure_reason r
+  | Error r -> Format.printf "no plan: %a@." Planner.pp_failure r

@@ -35,5 +35,5 @@ let () =
             p.Plan.cost_lb
             (String.concat "; "
                (String.split_on_char '\n' (Plan.to_string pb p)))
-      | Error r -> Format.printf "no plan (%a)@." Planner.pp_failure_reason r)
+      | Error r -> Format.printf "no plan (%a)@." Planner.pp_failure r)
     [ 60.; 40.; 25.; 10. ]

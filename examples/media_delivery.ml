@@ -29,7 +29,7 @@ let describe name sc level =
          | peak WAN use: %g@.@."
         (Plan.length p) p.Plan.cost_lb p.Plan.metrics.Replay.realized_cost
         p.Plan.metrics.Replay.lan_peak p.Plan.metrics.Replay.wan_peak
-  | Error r -> Format.printf "== %s ==@.no plan: %a@.@." name Planner.pp_failure_reason r
+  | Error r -> Format.printf "== %s ==@.no plan: %a@.@." name Planner.pp_failure r
 
 let () =
   let sc = Scenarios.small () in
@@ -44,4 +44,4 @@ let () =
       Format.printf
         "Original greedy Sekitei (no levels): %a - it insists on pushing all \
          200 units, which no node can split within 30 CPU units.@."
-        Planner.pp_failure_reason r)
+        Planner.pp_failure r)

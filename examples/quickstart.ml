@@ -36,4 +36,4 @@ let () =
         (Plan.length plan) plan.Plan.cost_lb
         (Plan.to_string pb plan)
   | Error reason ->
-      Format.printf "No plan: %a@." Planner.pp_failure_reason reason
+      Format.printf "No plan: %a@." Planner.pp_failure reason

@@ -28,7 +28,7 @@ let describe secure =
       Format.printf "%d actions, cost bound %g@.  %s@.@." (Plan.length p)
         p.Plan.cost_lb
         (String.concat "; " (String.split_on_char '\n' (Plan.to_string pb p)))
-  | Error r -> Format.printf "no plan (%a)@.@." Planner.pp_failure_reason r
+  | Error r -> Format.printf "no plan (%a)@.@." Planner.pp_failure r
 
 let () =
   Format.printf

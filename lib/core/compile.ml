@@ -1,4 +1,5 @@
 module I = Sekitei_util.Interval
+module Deadline = Sekitei_util.Deadline
 module Expr = Sekitei_expr.Expr
 module Topology = Sekitei_network.Topology
 module Model = Sekitei_spec.Model
@@ -70,8 +71,30 @@ let implied_levels tag n_levels level =
 (* Compilation proper                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
-    ?(telemetry = Telemetry.null) topo (app0 : Model.app) leveling =
+(* Incremental-recompilation hooks.  Grounding is organized in groups —
+   one per (placeable component, node) and one per (interface, link,
+   direction) — whose content depends only on the group's own site: node
+   capacities for placements, link capacities and the (stable) endpoint
+   names for crossings.  When a hook returns [Some acts], the group's
+   actions are copied from a previous compilation (with freshly assigned
+   sequential act_ids) instead of being re-grounded; cold compilation
+   uses {!no_reuse}.  Groups are visited in a canonical order either way,
+   so a recompile with every hook declining is byte-identical to a cold
+   compile. *)
+type reuse = {
+  reuse_place : comp:int -> node:int -> Action.t list option;
+  reuse_cross :
+    iface:int -> link_id:int -> src:int -> dst:int -> Action.t list option;
+}
+
+let no_reuse =
+  {
+    reuse_place = (fun ~comp:_ ~node:_ -> None);
+    reuse_cross = (fun ~iface:_ ~link_id:_ ~src:_ ~dst:_ -> None);
+  }
+
+let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
+    (app0 : Model.app) leveling =
   let app, restrictions = rewrite_goals app0 in
   let ifaces = Array.of_list app.interfaces in
   let comps = Array.of_list app.components in
@@ -243,6 +266,14 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
     incr next_id
   in
 
+  (* Adopt an action from a previous compilation verbatim, fresh id.  The
+     record copy shares the pre/add/closure arrays with the old problem —
+     they are immutable and proposition ids are stable across reuses. *)
+  let emit_copy (a : Action.t) =
+    actions := { a with Action.act_id = !next_id } :: !actions;
+    incr next_id
+  in
+
   let lo_env_of ivl_env v = I.lo (ivl_env v) in
 
   (* Leveled grounding: everything from here to the [actions] array is
@@ -261,6 +292,10 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
             | None -> true
           in
           if allowed then begin
+            Deadline.guard deadline ~phase:"compile";
+            match reuse.reuse_place ~comp:c ~node with
+            | Some olds -> List.iter emit_copy olds
+            | None ->
             let req = List.map iface_idx comp.Model.requires in
             (* Node resources this component touches. *)
             let node_resources =
@@ -452,6 +487,25 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
           in
           List.iter
             (fun (src, dst) ->
+              Deadline.guard deadline ~phase:"compile";
+              match
+                reuse.reuse_cross ~iface:i ~link_id:l.Topology.link_id ~src ~dst
+              with
+              | Some olds ->
+                  List.iter
+                    (fun (a : Action.t) ->
+                      (* The surviving link may have been renumbered; the
+                         copy carries the new id. *)
+                      let kind =
+                        match a.Action.kind with
+                        | Action.Cross { iface; src; dst; _ } ->
+                            Action.Cross
+                              { iface; link = l.Topology.link_id; src; dst }
+                        | Action.Place _ -> assert false
+                      in
+                      emit_copy { a with Action.kind })
+                    olds
+              | None ->
               List.iter
                 (fun (in_lvl, in_ivl) ->
                   List.iter
@@ -637,3 +691,70 @@ let compile ?(adjust = fun ~comp:_ ~node:_ -> 0.)
     comp_allowed_node;
     iface_max;
   }
+
+let no_adjust ~comp:_ ~node:_ = 0.
+
+let compile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
+    ?(deadline = Deadline.none) topo app leveling =
+  compile_with ~adjust ~telemetry ~deadline ~reuse:no_reuse topo app leveling
+
+(* Incremental recompilation after a topology delta.  The old problem's
+   actions are indexed by grounding group — (comp, node) for placements,
+   (iface, old link id, src, dst) for crossings — and groups whose site
+   the delta did not touch are copied instead of re-grounded.  A copied
+   group is exactly what fresh grounding would produce: placement groups
+   depend only on their node's capacities, crossing groups only on their
+   link's capacities and the endpoint names, all unchanged at untouched
+   sites (and [adjust] must be the same function that compiled [old] —
+   {!Session} fixes it per session).  Because {!compile_with} walks
+   groups in the canonical cold order and assigns sequential act_ids, the
+   result is structurally identical to a cold [compile] of the mutated
+   topology, just cheaper. *)
+let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
+    ?(deadline = Deadline.none) ~(old : Problem.t) ~old_link_of ~node_touched
+    ~link_touched topo app leveling =
+  let place_groups = Hashtbl.create 256 in
+  let cross_groups = Hashtbl.create 256 in
+  let push tbl key a =
+    Hashtbl.replace tbl key
+      (a :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+  in
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Place { comp; node } -> push place_groups (comp, node) a
+      | Action.Cross { iface; link; src; dst } ->
+          push cross_groups (iface, link, src, dst) a)
+    old.Problem.actions;
+  (* Restore original emission order within each group. *)
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) place_groups;
+  Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) cross_groups;
+  let reused = ref 0 in
+  let serve olds =
+    reused := !reused + List.length olds;
+    Some olds
+  in
+  let reuse =
+    {
+      reuse_place =
+        (fun ~comp ~node ->
+          if node_touched node then None
+          else
+            match Hashtbl.find_opt place_groups (comp, node) with
+            | Some olds -> serve olds
+            | None -> None);
+      reuse_cross =
+        (fun ~iface ~link_id ~src ~dst ->
+          if link_touched link_id || node_touched src || node_touched dst then
+            None
+          else
+            match old_link_of link_id with
+            | None -> None
+            | Some ol -> (
+                match Hashtbl.find_opt cross_groups (iface, ol, src, dst) with
+                | Some olds -> serve olds
+                | None -> None));
+    }
+  in
+  let pb = compile_with ~adjust ~telemetry ~deadline ~reuse topo app leveling in
+  (pb, Array.length old.Problem.actions - !reused)

@@ -1,40 +1,35 @@
-let src = Logs.Src.create "sekitei.planner" ~doc:"Sekitei planner phases"
+(* The planner façade.  The pipeline itself lives in {!Session}; this
+   module re-exports the session types under their historical names and
+   keeps the one-shot entry points as thin wrappers over throwaway
+   sessions, so [plan (request topo app ~leveling)] behaves — spans,
+   timings, stats — exactly as it always did. *)
 
-module Log = (val Logs.src_log src : Logs.LOG)
-module Timer = Sekitei_util.Timer
-module Telemetry = Sekitei_telemetry.Telemetry
-module Topology = Sekitei_network.Topology
-module Model = Sekitei_spec.Model
-module Leveling = Sekitei_spec.Leveling
-module Validate = Sekitei_spec.Validate
-module Replay = Replay
+module Session = Session
 
-type config = {
+type config = Session.config = {
   slrg_query_budget : int;
   rg_max_expansions : int;
   validate_spec : bool;
   explain : bool;
   profile_h : bool;
   defer_h : bool;
+  deadline_ms : float option;
 }
 
-let default_config =
-  {
-    slrg_query_budget = 500;
-    rg_max_expansions = 500_000;
-    validate_spec = true;
-    explain = false;
-    profile_h = false;
-    defer_h = true;
-  }
+let default_config = Session.default_config
 
-type failure_reason =
+type failure_reason = Session.failure_reason =
   | Invalid_spec of string
   | Unreachable_goal of string list
   | Resource_exhausted
   | Search_limit of { expansions : int; best_f : float }
+  | Deadline_exceeded of {
+      phase : string;
+      expansions : int;
+      best_f : float option;
+    }
 
-type stats = {
+type stats = Session.stats = {
   total_actions : int;
   plrg_props : int;
   plrg_actions : int;
@@ -51,42 +46,52 @@ type stats = {
   slrg_bound_promoted : int;
   slrg_deferred : int;
   slrg_saved : int;
+  invalidated_actions : int;
+  evicted_entries : int;
   t_total_ms : float;
   t_search_ms : float;
 }
 
 type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
 
-type request = {
-  topo : Topology.t;
-  app : Model.app;
-  leveling : Leveling.t;
+type request = Session.request = {
+  topo : Sekitei_network.Topology.t;
+  app : Sekitei_spec.Model.app;
+  leveling : Sekitei_spec.Leveling.t;
   config : config;
-  telemetry : Telemetry.t;
+  telemetry : Sekitei_telemetry.Telemetry.t;
 }
 
-let request ?(config = default_config) ?(telemetry = Telemetry.null)
-    ?(leveling = Leveling.empty) topo app =
-  { topo; app; leveling; config; telemetry }
+let request = Session.request
 
-type phase = {
+type phase = Session.phase = {
   ms : float;
   items : int;
   minor_words : float;
   major_collections : int;
 }
 
-type slrg_cache = { hits : int; harvested : int; promoted : int }
-
-type phases = {
-  compile : phase;  (** items = leveled actions after pruning *)
-  plrg : phase;  (** items = relevant propositions *)
-  slrg : phase;  (** items = set nodes generated *)
-  slrg_cache : slrg_cache;  (** cross-query reuse counters *)
-  rg : phase;  (** items = RG nodes created *)
+type slrg_cache = Session.slrg_cache = {
+  hits : int;
+  harvested : int;
+  promoted : int;
 }
 
-type report = {
+type reuse_counters = Session.reuse_counters = {
+  invalidated : int;
+  evicted : int;
+}
+
+type phases = Session.phases = {
+  compile : phase;
+  plrg : phase;
+  slrg : phase;
+  slrg_cache : slrg_cache;
+  rg : phase;
+  reuse : reuse_counters;
+}
+
+type report = Session.report = {
   result : (Plan.t, failure_reason) Stdlib.result;
   phases : phases;
   stats : stats;
@@ -95,273 +100,7 @@ type report = {
   hquality : Rg.hsample list option;
 }
 
-let empty_stats =
-  {
-    total_actions = 0;
-    plrg_props = 0;
-    plrg_actions = 0;
-    slrg_nodes = 0;
-    rg_created = 0;
-    rg_open_left = 0;
-    rg_expanded = 0;
-    replay_pruned = 0;
-    final_replay_rejected = 0;
-    rg_duplicates = 0;
-    order_repaired = 0;
-    slrg_cache_hits = 0;
-    slrg_suffix_harvested = 0;
-    slrg_bound_promoted = 0;
-    slrg_deferred = 0;
-    slrg_saved = 0;
-    t_total_ms = 0.;
-    t_search_ms = 0.;
-  }
-
-let no_phase = { ms = 0.; items = 0; minor_words = 0.; major_collections = 0 }
-let no_cache = { hits = 0; harvested = 0; promoted = 0 }
-
-let empty_phases =
-  {
-    compile = no_phase;
-    plrg = no_phase;
-    slrg = no_phase;
-    slrg_cache = no_cache;
-    rg = no_phase;
-  }
-
-let plan ?adjust (req : request) =
-  let { topo; app; leveling; config; telemetry } = req in
-  let t_total = Timer.start () in
-  let sp_plan = Telemetry.begin_span telemetry "plan" in
-  let finish ?(phases = empty_phases) ?explanation ?certificate ?hquality
-      result stats =
-    Telemetry.flush_counters telemetry;
-    ignore
-      (Telemetry.end_span telemetry sp_plan
-         ~attrs:[ ("ok", Telemetry.Bool (Result.is_ok result)) ]);
-    { result; phases; stats; explanation; certificate; hquality }
-  in
-  let invalid msg = finish (Error (Invalid_spec msg)) empty_stats in
-  match
-    if config.validate_spec then
-      match Validate.check topo app with
-      | [] -> Ok ()
-      | issues ->
-          Error
-            (String.concat "; "
-               (List.map (fun i -> Format.asprintf "%a" Validate.pp_issue i) issues))
-    else Ok ()
-  with
-  | Error msg -> invalid msg
-  | Ok () -> (
-      (* Each phase is bracketed by GC snapshots next to its timing span:
-         minor-words allocated and major collections triggered are reported
-         per phase (allocation pressure is the first thing to check when a
-         phase's wall time regresses).  [Gc.minor_words] reads the live
-         allocation pointer — [quick_stat]'s [minor_words] field is only
-         refreshed at collection boundaries in native code, so a phase that
-         triggers no minor GC would report zero allocation. *)
-      let gc_snap () =
-        (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_collections)
-      in
-      let gc_delta (aw, ac) (bw, bc) = (bw -. aw, bc - ac) in
-      let sp_compile = Telemetry.begin_span telemetry "compile" in
-      let gc_compile0 = gc_snap () in
-      match Compile.compile ?adjust ~telemetry topo app leveling with
-      | exception Compile.Compile_error msg ->
-          ignore (Telemetry.end_span telemetry sp_compile);
-          invalid msg
-      | pb ->
-          let compile_gc = gc_delta gc_compile0 (gc_snap ()) in
-          let total_actions = Array.length pb.Problem.actions in
-          let compile_ms =
-            Telemetry.end_span telemetry sp_compile
-              ~attrs:
-                [
-                  ("actions", Telemetry.Int total_actions);
-                  ("props", Telemetry.Int (Prop.count pb.Problem.props));
-                ]
-          in
-          Log.info (fun m ->
-              m "compiled: %d leveled actions, %d propositions" total_actions
-                (Prop.count pb.Problem.props));
-          let t_search = Timer.start () in
-          let sp_plrg = Telemetry.begin_span telemetry "plrg" in
-          let gc_plrg0 = gc_snap () in
-          let plrg = Plrg.build ~telemetry pb in
-          let plrg_gc = gc_delta gc_plrg0 (gc_snap ()) in
-          let plrg_props, plrg_actions = Plrg.stats plrg in
-          let plrg_ms =
-            Telemetry.end_span telemetry sp_plrg
-              ~attrs:
-                [
-                  ("relevant_props", Telemetry.Int plrg_props);
-                  ("relevant_actions", Telemetry.Int plrg_actions);
-                  ("reachable", Telemetry.Bool (Plrg.goals_reachable plrg));
-                ]
-          in
-          Log.info (fun m ->
-              m "PLRG: %d relevant propositions, %d relevant actions, goals %s"
-                plrg_props plrg_actions
-                (if Plrg.goals_reachable plrg then "reachable" else "UNREACHABLE"));
-          let base_stats search_ms slrg rg_stats =
-            {
-              total_actions;
-              plrg_props;
-              plrg_actions;
-              slrg_nodes =
-                (match slrg with Some s -> Slrg.nodes_generated s | None -> 0);
-              rg_created =
-                (match rg_stats with Some (s : Rg.stats) -> s.Rg.created | None -> 0);
-              rg_open_left =
-                (match rg_stats with Some s -> s.Rg.open_left | None -> 0);
-              rg_expanded =
-                (match rg_stats with Some s -> s.Rg.expanded | None -> 0);
-              replay_pruned =
-                (match rg_stats with Some s -> s.Rg.replay_pruned | None -> 0);
-              final_replay_rejected =
-                (match rg_stats with
-                | Some s -> s.Rg.final_replay_rejected
-                | None -> 0);
-              rg_duplicates =
-                (match rg_stats with Some s -> s.Rg.duplicates | None -> 0);
-              order_repaired =
-                (match rg_stats with Some s -> s.Rg.order_repaired | None -> 0);
-              slrg_cache_hits =
-                (match slrg with Some s -> Slrg.cache_hits s | None -> 0);
-              slrg_suffix_harvested =
-                (match slrg with Some s -> Slrg.suffix_harvested s | None -> 0);
-              slrg_bound_promoted =
-                (match slrg with Some s -> Slrg.bound_promoted s | None -> 0);
-              slrg_deferred =
-                (match rg_stats with Some s -> s.Rg.slrg_deferred | None -> 0);
-              slrg_saved =
-                (match rg_stats with Some s -> s.Rg.slrg_saved | None -> 0);
-              t_total_ms = Timer.elapsed_ms t_total;
-              t_search_ms = search_ms;
-            }
-          in
-          let mk_phase ms items (minor_words, major_collections) =
-            { ms; items; minor_words; major_collections }
-          in
-          let base_phases ?(slrg_ms = 0.) ?(slrg_items = 0)
-              ?(slrg_gc = (0., 0)) ?(slrg_cache = no_cache) ?(rg_ms = 0.)
-              ?(rg_items = 0) ?(rg_gc = (0., 0)) () =
-            {
-              compile = mk_phase compile_ms total_actions compile_gc;
-              plrg = mk_phase plrg_ms plrg_props plrg_gc;
-              slrg = mk_phase slrg_ms slrg_items slrg_gc;
-              slrg_cache;
-              rg = mk_phase rg_ms rg_items rg_gc;
-            }
-          in
-          if not (Plrg.goals_reachable plrg) then begin
-            let unreachable =
-              Plrg.unreachable_goals plrg
-              |> List.map (Problem.prop_label pb)
-            in
-            let certificate =
-              if config.explain then Explain.unreachable_certificate pb plrg
-              else None
-            in
-            finish
-              ~phases:(base_phases ())
-              ?certificate
-              (Error (Unreachable_goal unreachable))
-              (base_stats (Timer.elapsed_ms t_search) None None)
-          end
-          else begin
-            let sp_slrg = Telemetry.begin_span telemetry "slrg" in
-            let gc_slrg0 = gc_snap () in
-            let slrg =
-              Slrg.create ~telemetry ~query_budget:config.slrg_query_budget pb
-                plrg
-            in
-            let slrg_create_gc = gc_delta gc_slrg0 (gc_snap ()) in
-            let slrg_create_ms = Telemetry.end_span telemetry sp_slrg in
-            let sp_rg = Telemetry.begin_span telemetry "rg" in
-            let gc_rg0 = gc_snap () in
-            let profile = if config.profile_h then Some (ref []) else None in
-            let result, rg_stats =
-              Rg.search ~max_expansions:config.rg_max_expansions
-                ~defer:config.defer_h ?profile ~telemetry pb plrg slrg
-            in
-            let rg_gc = gc_delta gc_rg0 (gc_snap ()) in
-            let rg_ms =
-              Telemetry.end_span telemetry sp_rg
-                ~attrs:
-                  [
-                    ("created", Telemetry.Int rg_stats.Rg.created);
-                    ("expanded", Telemetry.Int rg_stats.Rg.expanded);
-                  ]
-            in
-            Log.info (fun m ->
-                m
-                  "RG: %d nodes created, %d expanded, %d pruned by replay, %d \
-                   duplicates, %d final rejections"
-                  rg_stats.Rg.created rg_stats.Rg.expanded
-                  rg_stats.Rg.replay_pruned rg_stats.Rg.duplicates
-                  rg_stats.Rg.final_replay_rejected);
-            let stats =
-              base_stats (Timer.elapsed_ms t_search) (Some slrg) (Some rg_stats)
-            in
-            (* SLRG queries run lazily inside the RG search; their cumulative
-               wall time and GC footprint are attributed to the slrg phase
-               and are therefore a subset of the rg phase's own bracket. *)
-            let phases =
-              base_phases
-                ~slrg_ms:(slrg_create_ms +. Slrg.query_ms slrg)
-                ~slrg_items:(Slrg.nodes_generated slrg)
-                ~slrg_gc:
-                  ( fst slrg_create_gc +. Slrg.gc_minor_words slrg,
-                    snd slrg_create_gc + Slrg.gc_major_collections slrg )
-                ~slrg_cache:
-                  {
-                    hits = Slrg.cache_hits slrg;
-                    harvested = Slrg.suffix_harvested slrg;
-                    promoted = Slrg.bound_promoted slrg;
-                  }
-                ~rg_ms ~rg_items:rg_stats.Rg.created ~rg_gc ()
-            in
-            let hquality =
-              match profile with
-              | None -> None
-              | Some samples ->
-                  let n = List.length !samples in
-                  if Telemetry.enabled telemetry then begin
-                    Telemetry.count telemetry "hq.path_nodes" n;
-                    Telemetry.count telemetry "hq.wasted_expansions"
-                      (Stdlib.max 0 (rg_stats.Rg.expanded - n))
-                  end;
-                  Some !samples
-            in
-            match result with
-            | Rg.Solution (tail, metrics, cost_lb) ->
-                Log.info (fun m ->
-                    m "solution: %d actions, cost bound %g, realized %g"
-                      (List.length tail) cost_lb metrics.Replay.realized_cost);
-                let plan = { Plan.steps = tail; cost_lb; metrics } in
-                let explanation =
-                  if config.explain then
-                    match Explain.explain pb plan with
-                    | Ok e -> Some e
-                    | Error _ -> None
-                  else None
-                in
-                finish ~phases ?explanation ?hquality (Ok plan) stats
-            | Rg.Exhausted ->
-                finish ~phases ?hquality (Error Resource_exhausted) stats
-            | Rg.Budget_exceeded { expansions; best_f; frontier } ->
-                let certificate =
-                  match frontier with
-                  | Some fr when config.explain ->
-                      Some (Explain.frontier_certificate pb ~best_f fr)
-                  | _ -> None
-                in
-                finish ~phases ?certificate ?hquality
-                  (Error (Search_limit { expansions; best_f }))
-                  stats
-          end)
+let plan ?adjust (req : request) = Session.plan (Session.create ?adjust req)
 
 let plan_batch ?adjust ?jobs (reqs : request list) =
   let jobs =
@@ -369,55 +108,13 @@ let plan_batch ?adjust ?jobs (reqs : request list) =
     | Some j when j >= 1 -> j
     | _ -> Sekitei_util.Domain_pool.default_jobs ()
   in
-  (* Shared-nothing: each request compiles its own problem and builds its
-     own oracle, so workers touch no common mutable state — except the
-     telemetry handles the caller put in the requests, which are the
-     caller's contract (per-request handles, or sinks wrapped in
+  (* Shared-nothing: each request gets its own throwaway session —
+     problem, oracle, ctx — so workers touch no common mutable state
+     except the telemetry handles the caller put in the requests, which
+     are the caller's contract (per-request handles, or sinks wrapped in
      [Telemetry.locked]). *)
   Sekitei_util.Domain_pool.map ~jobs (fun req -> plan ?adjust req) reqs
 
-let solve ?config ?adjust topo app leveling =
-  let report = plan ?adjust (request ?config topo app ~leveling) in
-  ({ result = report.result; stats = report.stats } : outcome)
-
-let solve_greedy ?config topo app =
-  let report = plan (request ?config topo app) in
-  ({ result = report.result; stats = report.stats } : outcome)
-
-let pp_failure_reason fmt = function
-  | Invalid_spec msg -> Format.fprintf fmt "invalid specification: %s" msg
-  | Unreachable_goal [] -> Format.pp_print_string fmt "goal logically unreachable"
-  | Unreachable_goal props ->
-      Format.fprintf fmt "goal logically unreachable (%s)"
-        (String.concat ", " props)
-  | Resource_exhausted ->
-      Format.pp_print_string fmt "no resource-feasible plan found"
-  | Search_limit { expansions; best_f } ->
-      Format.fprintf fmt
-        "search budget exceeded after %d expansions (best open bound %g)"
-        expansions best_f
-
-let pp_stats fmt s =
-  Format.fprintf fmt
-    "actions=%d plrg=%d/%d slrg=%d rg=%d/%d expanded=%d pruned=%d dups=%d \
-     rejected=%d repaired=%d deferred=%d/%d time=%.1f/%.1fms"
-    s.total_actions s.plrg_props s.plrg_actions s.slrg_nodes s.rg_created
-    s.rg_open_left s.rg_expanded s.replay_pruned s.rg_duplicates
-    s.final_replay_rejected s.order_repaired s.slrg_deferred s.slrg_saved
-    s.t_total_ms s.t_search_ms
-
-let pp_phases fmt p =
-  (* gc_minor_kw / gc_major list the four phases in pipeline order:
-     compile, plrg, slrg, rg. *)
-  Format.fprintf fmt
-    "compile=%.1fms/%d plrg=%.1fms/%d slrg=%.1fms/%d slrg_cache=%d/%d/%d \
-     rg=%.1fms/%d gc_minor_kw=%.0f/%.0f/%.0f/%.0f gc_major=%d/%d/%d/%d"
-    p.compile.ms p.compile.items p.plrg.ms p.plrg.items p.slrg.ms p.slrg.items
-    p.slrg_cache.hits p.slrg_cache.harvested p.slrg_cache.promoted p.rg.ms
-    p.rg.items
-    (p.compile.minor_words /. 1000.)
-    (p.plrg.minor_words /. 1000.)
-    (p.slrg.minor_words /. 1000.)
-    (p.rg.minor_words /. 1000.)
-    p.compile.major_collections p.plrg.major_collections
-    p.slrg.major_collections p.rg.major_collections
+let pp_failure = Session.pp_failure
+let pp_stats = Session.pp_stats
+let pp_phases = Session.pp_phases

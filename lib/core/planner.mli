@@ -1,16 +1,27 @@
 (** The planner façade: validate, compile, run the three phases, report.
 
-    The entry point is {!plan} over a {!request} record; it returns a
-    {!report} carrying the result, per-phase timings/sizes and the flat
-    {!stats} record.  [plan (request topo app ~leveling)] is the modified
-    Sekitei algorithm of the paper; omitting [~leveling] runs the trivial
-    leveling (every variable one [0, inf) level), which degenerates to the
-    original greedy Sekitei (Table 1, scenario A).
+    The one-shot entry point is {!plan} over a {!request} record; it
+    returns a {!report} carrying the result, per-phase timings/sizes and
+    the flat {!stats} record.  [plan (request topo app ~leveling)] is the
+    modified Sekitei algorithm of the paper; omitting [~leveling] runs
+    the trivial leveling (every variable one [0, inf) level), which
+    degenerates to the original greedy Sekitei (Table 1, scenario A).
 
-    {!solve} and {!solve_greedy} are deprecated positional wrappers kept
-    for source compatibility. *)
+    Repeated or perturbed queries should use a long-lived
+    {!Session.t} instead: it keeps the compiled problem and the SLRG
+    oracle hot across requests, applies topology deltas with
+    dependency-tracked invalidation, and bounds request latency with a
+    deadline.  {!plan} itself is a thin wrapper over a throwaway
+    session, so the two paths cannot drift apart.  The pipeline types
+    below ({!config}, {!failure_reason}, {!stats}, {!phases}, ...) are
+    re-exported from {!Session} by equation — values flow freely between
+    the two modules. *)
 
-type config = {
+(** The session engine ({!Session.create} / {!Session.plan} /
+    {!Session.update}), re-exported under the planner namespace. *)
+module Session = Session
+
+type config = Session.config = {
   slrg_query_budget : int;  (** set-node budget per SLRG query *)
   rg_max_expansions : int;
   validate_spec : bool;  (** run {!Sekitei_spec.Validate} first *)
@@ -26,14 +37,19 @@ type config = {
       (** lazy two-stage heuristic evaluation in the RG search (default
           [true]): queue successors under the cheap PLRG bound and run
           the SLRG oracle only on nodes that reach the top of the open
-          list.  Plans, cost bounds, and expansion counts are
-          bit-identical either way (see {!Rg.search}); [false] restores
-          eager per-successor oracle queries for A/B measurement *)
+          list.  Solvability and the optimal cost bound are unchanged
+          either way (see {!Rg.search} for the fp-tie caveats); [false]
+          restores eager per-successor oracle queries for A/B
+          measurement *)
+  deadline_ms : float option;
+      (** per-request wall-clock budget (monotonic {!Sekitei_util.Timer}
+          time, polled cooperatively by every phase); [None] (default)
+          never expires.  See {!Session} *)
 }
 
 val default_config : config
 
-type failure_reason =
+type failure_reason = Session.failure_reason =
   | Invalid_spec of string
   | Unreachable_goal of string list
       (** the PLRG proves the goals logically unreachable; carries the
@@ -44,8 +60,15 @@ type failure_reason =
   | Search_limit of { expansions : int; best_f : float }
       (** RG expansion budget exceeded; [best_f] is an admissible lower
           bound on the cost of any plan a longer search could find *)
+  | Deadline_exceeded of {
+      phase : string;  (** ["compile"], ["plrg"], or ["rg"] *)
+      expansions : int;  (** RG expansions completed (0 outside the RG) *)
+      best_f : float option;
+          (** admissible lower bound when the RG frontier was reached —
+              the same evidence a {!Search_limit} carries *)
+    }  (** the request's [config.deadline_ms] expired first *)
 
-type stats = {
+type stats = Session.stats = {
   total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)
   plrg_props : int;  (** Table 2 col 6 (left) *)
   plrg_actions : int;  (** Table 2 col 6 (right) *)
@@ -62,7 +85,9 @@ type stats = {
       (** candidate tails recovered by the RG backtracking re-sequencer
           after failing from-init validation *)
   slrg_cache_hits : int;
-      (** SLRG queries answered from the solved or capped-bound caches *)
+      (** SLRG queries answered from the solved or capped-bound caches.
+          For warm session requests the [slrg_*] fields are per-request
+          deltas; for a one-shot {!plan} they equal the oracle totals *)
   slrg_suffix_harvested : int;
       (** exact SLRG cache entries recorded by suffix-cost harvesting
           beyond the queried roots themselves *)
@@ -74,15 +99,22 @@ type stats = {
   slrg_saved : int;
       (** deferred nodes never refined — SLRG oracle queries eager
           evaluation would have paid that this run skipped entirely *)
+  invalidated_actions : int;
+      (** leveled actions the session's {!Session.update}s since the
+          previous request could not reuse; always 0 for one-shot runs *)
+  evicted_entries : int;
+      (** SLRG cache entries those updates evicted; always 0 for
+          one-shot runs *)
   t_total_ms : float;  (** Table 2 col 9 (left) *)
   t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
 }
 
+(** Result + stats, the compact summary {!Redeploy.replan} returns. *)
 type outcome = { result : (Plan.t, failure_reason) Stdlib.result; stats : stats }
 
 (** Everything a planning run needs.  Build with {!request}; override
     fields with record update syntax ([{ req with config = ... }]). *)
-type request = {
+type request = Session.request = {
   topo : Sekitei_network.Topology.t;
   app : Sekitei_spec.Model.app;
   leveling : Sekitei_spec.Leveling.t;
@@ -105,8 +137,10 @@ val request :
     phase's GC footprint ([Gc.quick_stat] deltas bracketing the phase —
     minor-heap words allocated and major collections triggered).  Rising
     allocation pressure is the usual early warning when a phase's wall
-    time regresses. *)
-type phase = {
+    time regresses.  Warm session requests report the compile and plrg
+    phases with [ms = 0.] (the work happened in an earlier request or
+    update). *)
+type phase = Session.phase = {
   ms : float;
   items : int;
   minor_words : float;
@@ -115,13 +149,20 @@ type phase = {
 
 (** Cross-query reuse counters of the SLRG cost oracle (printed by
     {!pp_phases} as [slrg_cache=hits/harvested/promoted]). *)
-type slrg_cache = {
+type slrg_cache = Session.slrg_cache = {
   hits : int;  (** queries answered without running an A* *)
   harvested : int;  (** suffix entries recorded beyond queried roots *)
   promoted : int;  (** exhausted bounds replaced by exact entries *)
 }
 
-type phases = {
+(** Session-reuse counters (printed by {!pp_phases} as
+    [reuse=invalidated/evicted]); both 0 for one-shot runs. *)
+type reuse_counters = Session.reuse_counters = {
+  invalidated : int;
+  evicted : int;
+}
+
+type phases = Session.phases = {
   compile : phase;  (** items = leveled actions after pruning *)
   plrg : phase;  (** items = relevant propositions *)
   slrg : phase;
@@ -131,9 +172,10 @@ type phases = {
           the rg one) *)
   slrg_cache : slrg_cache;
   rg : phase;  (** items = RG nodes created *)
+  reuse : reuse_counters;
 }
 
-type report = {
+type report = Session.report = {
   result : (Plan.t, failure_reason) Stdlib.result;
   phases : phases;
       (** per-phase timings are measured monotonically even with the null
@@ -144,19 +186,22 @@ type report = {
           [config.explain] and the run solved *)
   certificate : Explain.certificate option;
       (** unsolvability evidence; [Some] iff [config.explain] and the
-          run failed with {!Unreachable_goal} or {!Search_limit} *)
+          run failed with {!Unreachable_goal}, {!Search_limit}, or an
+          in-search {!Deadline_exceeded} *)
   hquality : Rg.hsample list option;
       (** solution-path heuristic samples, root first; [Some] iff
           [config.profile_h] (empty list when no solution was found) —
           analyze with [Sekitei_harness.Hquality] *)
 }
 
-(** Run the planner on a request.  [adjust] is forwarded to
-    {!Compile.compile} (per-placement cost adjustments, used by
-    {!Redeploy}).  When the request carries a telemetry handle with sinks,
-    the run emits a span tree rooted at ["plan"] (compile/leveling, plrg,
-    slrg, rg, replay, replay.repair, per-query slrg.query), aggregated
-    counters, and periodic ["rg"] progress events. *)
+(** Run the planner on a request via a throwaway {!Session.t}.  [adjust]
+    is forwarded to {!Compile.compile} (per-placement cost adjustments,
+    used by {!Redeploy}).  When the request carries a telemetry handle
+    with sinks, the run emits a span tree rooted at ["plan"]
+    (compile/leveling, plrg, slrg, rg, replay, replay.repair, per-query
+    slrg.query), aggregated counters, and periodic ["rg"] progress
+    events; failed runs attach the {!pp_failure}-rendered reason to the
+    ["plan"] span end as a ["failure"] attribute. *)
 val plan : ?adjust:(comp:string -> node:int -> float) -> request -> report
 
 (** [plan_batch reqs] runs {!plan} on every request, in parallel across
@@ -179,23 +224,10 @@ val plan_batch :
   request list ->
   report list
 
-val solve :
-  ?config:config ->
-  ?adjust:(comp:string -> node:int -> float) ->
-  Sekitei_network.Topology.t ->
-  Sekitei_spec.Model.app ->
-  Sekitei_spec.Leveling.t ->
-  outcome
-[@@ocaml.deprecated "Use Planner.plan (Planner.request topo app ~leveling)."]
+(** Render a failure reason for humans — the single formatter behind the
+    CLI's "No plan:" line and the ["failure"] span attribute
+    trace_report surfaces. *)
+val pp_failure : Format.formatter -> failure_reason -> unit
 
-(** Original greedy Sekitei: the empty leveling. *)
-val solve_greedy :
-  ?config:config ->
-  Sekitei_network.Topology.t ->
-  Sekitei_spec.Model.app ->
-  outcome
-[@@ocaml.deprecated "Use Planner.plan (Planner.request topo app)."]
-
-val pp_failure_reason : Format.formatter -> failure_reason -> unit
 val pp_stats : Format.formatter -> stats -> unit
 val pp_phases : Format.formatter -> phases -> unit

@@ -1,4 +1,5 @@
 module Heap = Sekitei_util.Heap
+module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
 
 type t = {
@@ -9,7 +10,8 @@ type t = {
   relevant_prop : bool array;
 }
 
-let build ?(telemetry = Telemetry.null) (pb : Problem.t) =
+let build ?(telemetry = Telemetry.null) ?(deadline = Deadline.none)
+    (pb : Problem.t) =
   let n_props = Prop.count pb.props in
   let n_acts = Array.length pb.actions in
   let costs = Array.make n_props Float.infinity in
@@ -51,6 +53,7 @@ let build ?(telemetry = Telemetry.null) (pb : Problem.t) =
     match Heap.pop heap with
     | None -> ()
     | Some (pid, c) ->
+        Deadline.guard deadline ~phase:"plrg";
         if not finalized.(pid) then begin
           finalized.(pid) <- true;
           ignore c;

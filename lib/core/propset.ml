@@ -97,17 +97,19 @@ module Interner = struct
 end
 
 type ctx = {
-  closure_sorted : int array array;  (** per action id, sorted add-closure *)
-  pre_canon : int array array;  (** per action id, canonical preconditions *)
+  mutable closure_sorted : int array array;
+      (** per action id, sorted add-closure *)
+  mutable pre_canon : int array array;
+      (** per action id, canonical preconditions *)
   interner : Interner.t;
-  n_actions : int;
+  mutable n_actions : int;
   regress_memo : (int, handle) Hashtbl.t;
       (** (parent set id * n_actions + action id) -> interned result; one
           merge per distinct regression edge across every search sharing
           this ctx *)
 }
 
-let make_ctx (pb : Problem.t) =
+let action_tables (pb : Problem.t) =
   let closure_sorted =
     Array.map
       (fun (a : Action.t) ->
@@ -121,6 +123,10 @@ let make_ctx (pb : Problem.t) =
       (fun (a : Action.t) -> canonical_array pb a.Action.pre)
       pb.Problem.actions
   in
+  (closure_sorted, pre_canon)
+
+let make_ctx (pb : Problem.t) =
+  let closure_sorted, pre_canon = action_tables pb in
   {
     closure_sorted;
     pre_canon;
@@ -128,6 +134,21 @@ let make_ctx (pb : Problem.t) =
     n_actions = Array.length pb.Problem.actions;
     regress_memo = Hashtbl.create 1024;
   }
+
+(* Rebinding a ctx to a recompiled problem keeps the interner (prop ids —
+   and therefore canonical sets and their dense handle ids — are stable
+   across topology deltas; see {!Session}) but rebuilds everything keyed
+   by action ids, which the recompile renumbers.  The regression memo
+   must go with them: its key mixes [n_actions] into the encoding, and
+   its values depend on the per-action tables.  The caller is responsible
+   for checking that [pb.init] is unchanged — a different initial section
+   changes what "canonical" means and requires a fresh ctx. *)
+let refresh_ctx ctx (pb : Problem.t) =
+  let closure_sorted, pre_canon = action_tables pb in
+  ctx.closure_sorted <- closure_sorted;
+  ctx.pre_canon <- pre_canon;
+  ctx.n_actions <- Array.length pb.Problem.actions;
+  Hashtbl.reset ctx.regress_memo
 
 let intern ctx set = Interner.intern ctx.interner set
 let handle_of_id ctx id = Interner.get ctx.interner id

@@ -74,6 +74,17 @@ type ctx
 
 val make_ctx : Problem.t -> ctx
 
+(** [refresh_ctx ctx pb] rebinds the ctx to a recompiled problem: the
+    per-action regression tables are rebuilt and the regression memo is
+    cleared (both are keyed by action ids, which recompilation
+    renumbers), while the interner — and with it every dense handle id —
+    is kept, because proposition ids are stable across topology deltas.
+    The caller must ensure [pb.init] equals the init array the ctx was
+    created with; a changed initial section changes canonicalization
+    itself and requires a fresh ctx ({!Session} checks this and rebuilds
+    from scratch on a mismatch). *)
+val refresh_ctx : ctx -> Problem.t -> unit
+
 (** Intern a canonical set in the ctx's interner. *)
 val intern : ctx -> int array -> handle
 

@@ -1,3 +1,12 @@
+(* Stale-id audit (link renumbering): Mutate.remove_link / fail_node
+   renumber the surviving links densely, so any identifier held across
+   such a mutation must go through Mutate.renumber_map.  This module is
+   safe by construction: the [previous] deployment and the computed
+   [diff] speak only in component names and *node* ids, which are stable
+   across every Mutate operation — no link id is ever stored here.
+   Callers replanning after a removal (e.g. Session.update) own the
+   translation for any link ids *they* hold. *)
+
 type policy = { keep_discount : float; migrate_surcharge : float }
 
 let default_policy = { keep_discount = 5.; migrate_surcharge = 3. }

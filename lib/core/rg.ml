@@ -1,5 +1,6 @@
 module Heap = Sekitei_util.Heap
 module Iset = Set.Make (Int)
+module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
 
 type stats = {
@@ -21,6 +22,11 @@ type result =
   | Solution of Action.t list * Replay.metrics * float
   | Exhausted
   | Budget_exceeded of {
+      expansions : int;
+      best_f : float;
+      frontier : frontier option;
+    }
+  | Deadline_reached of {
       expansions : int;
       best_f : float;
       frontier : frontier option;
@@ -135,8 +141,8 @@ let repair_order ?(max_steps = 20_000) pb tail =
   | Infeasible | Gave_up -> None
 
 let search ?(max_expansions = 500_000) ?(dedup = true) ?(defer = true)
-    ?profile ?(telemetry = Telemetry.null) (pb : Problem.t) (_plrg : Plrg.t)
-    slrg =
+    ?profile ?(telemetry = Telemetry.null) ?(deadline = Deadline.none)
+    (pb : Problem.t) (_plrg : Plrg.t) slrg =
   let progress_interval = Telemetry.progress_interval telemetry in
   let created = ref 0
   and expanded = ref 0
@@ -311,6 +317,18 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?(defer = true)
     if !expanded >= max_expansions then
       finish
         (Budget_exceeded
+           {
+             expansions = !expanded;
+             best_f = f;
+             frontier =
+               Some { f_tail = node.tail; f_pending = node.set.Propset.set };
+           })
+    else if Deadline.expired deadline then
+      (* Same evidence as budget exhaustion: the popped node's f is the
+         frontier minimum, an admissible lower bound on any plan a longer
+         search could still find. *)
+      finish
+        (Deadline_reached
            {
              expansions = !expanded;
              best_f = f;

@@ -75,6 +75,13 @@ type result =
       frontier : frontier option;
           (** the node whose pop hit the budget (carries [best_f]) *)
     }
+  | Deadline_reached of {
+      expansions : int;
+      best_f : float;
+          (** same admissible lower-bound evidence as [Budget_exceeded],
+              produced when the request deadline fired first *)
+      frontier : frontier option;
+    }
 
 (** Re-sequence a candidate tail (an action set in some infeasible order)
     into an order that replays from the true initial state, by depth-first
@@ -100,11 +107,22 @@ val repair_order :
     top of the open list, re-inserting it if the refined f-value exceeds
     the new frontier minimum.  Because the SLRG heuristic dominates the
     PLRG one and node serial numbers are preserved across re-insertion,
-    the expansion order — and therefore the returned plan, its cost
-    bound, and [expanded] — is bit-identical to [~defer:false]; only
-    the oracle-query count (and with it [created]/[duplicates], since
-    SLRG-infeasible successors are detected at pop instead of at push)
-    differs.  The savings are reported in [slrg_deferred]/[slrg_saved].
+    a node is never expanded before its refined f is proven minimal, so
+    the admissibility argument — and with it solvability and the optimal
+    cost bound — is unchanged; [created]/[duplicates] differ by design
+    (SLRG-infeasible successors are detected at pop instead of at push)
+    and the savings are reported in [slrg_deferred]/[slrg_saved].
+
+    The replay is {e not} guaranteed bit-identical, for two reasons the
+    oracle shares with {!Session}'s warm-vs-cold contract.  First, a
+    budget-exhausted query records a bound that depends on the shared
+    escalation pool, which the two modes drain differently.  Second,
+    even exact values are path-independent only mathematically: a set
+    with several equally-optimal support paths caches the cost of
+    whichever query harvested it first, and float addition is not
+    associative, so h can differ in the last ulp between query orders —
+    enough to swap f-tied frontier nodes, perturb [expanded], and return
+    a different equally-cheap optimum.
 
     [profile], when given, turns on heuristic-quality recording: every
     queued node carries its (set size, g, h) sample chained to its
@@ -119,13 +137,18 @@ val repair_order :
     ([rg.created], [rg.expanded], [rg.replay_pruned], [rg.duplicates],
     [rg.final_replay_rejected], [rg.order_repaired], [rg.slrg_deferred],
     [rg.slrg_saved]), and wraps final candidate validation in
-    ["replay"] / ["replay.repair"] sub-spans. *)
+    ["replay"] / ["replay.repair"] sub-spans.
+
+    [deadline] is polled once per expansion (at pop, after heuristic
+    refinement); on expiry the search stops with [Deadline_reached]
+    carrying the frontier-minimum f as a valid lower bound. *)
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->
   ?defer:bool ->
   ?profile:hsample list ref ->
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?deadline:Sekitei_util.Deadline.t ->
   Problem.t ->
   Plrg.t ->
   Slrg.t ->

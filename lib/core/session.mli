@@ -1,0 +1,232 @@
+(** Long-lived planning sessions: cross-request reuse of compiled state,
+    delta invalidation, and deadline-bounded search.
+
+    A session holds everything a plan request needs that survives the
+    request — the leveled problem, the PLRG, and the SLRG cost oracle
+    with its hash-consed proposition-set interner — and serves many
+    {!plan} calls against it.  The first call compiles (its report
+    carries cold compile/plrg timings, exactly like a one-shot run);
+    subsequent calls for the same (topology, app, leveling) skip
+    compilation entirely and start with a hot oracle.  {!update} applies
+    a {!delta} with dependency-tracked invalidation: only grounding
+    groups at the touched nodes/links are recompiled
+    ({!Compile.recompile}) and only oracle entries whose proposition sets
+    cross the delta's taint cone are evicted ({!Supports.taint},
+    {!Slrg.refresh}); the work done is surfaced as the
+    [invalidated_actions] / [evicted_entries] counters of the next
+    report.
+
+    {b Warm == cold.}  A warm re-plan agrees with a cold [Planner.plan]
+    of the session's current topology on everything that matters: the
+    result constructor, the optimal cost bound, and (on budget cutoffs)
+    the admissible best-f evidence.  Exact oracle entries are
+    path-independent, and the per-request reset ({!Slrg.begin_request})
+    drops everything that is not — budget-exhausted bounds and the
+    escalation pool — so carried cache state cannot steer the search.
+    Two kinds of noise are tolerated, with provisos shared with
+    {!Rg.search}'s [defer] contract: a cold run whose root queries
+    exhaust their budget records order-dependent bounds a warm run may
+    not reproduce, and exact costs of sets with several equally-optimal
+    support paths are cached from whichever query harvested them first,
+    so warm and cold h-values can differ in the last ulp and swap f-tied
+    frontier nodes (possibly returning a different equally-cheap
+    optimum).  Timing fields and cumulative oracle statistics naturally
+    differ.
+
+    {b Deadlines.}  [config.deadline_ms] arms a monotonic
+    ({!Sekitei_util.Timer}) cancellation token for each request, polled
+    per grounding group in compilation, per relaxation in the PLRG, and
+    per expansion in the SLRG/RG searches.  An expired request returns
+    [Error (Deadline_exceeded _)] carrying the phase that gave up and —
+    when the RG frontier was reached — the same admissible best-[f]
+    lower bound a [Search_limit] failure reports.
+
+    This module is the engine; {!Planner} re-exports its types and wraps
+    one-shot [plan] / [plan_batch] over throwaway sessions. *)
+
+type config = {
+  slrg_query_budget : int;  (** set-node budget per SLRG query *)
+  rg_max_expansions : int;
+  validate_spec : bool;  (** run {!Sekitei_spec.Validate} first *)
+  explain : bool;
+      (** derive a {!Explain.t} for solved runs and a
+          {!Explain.certificate} for failed ones (default [false];
+          costs one extra from-init replay of the final plan) *)
+  profile_h : bool;
+      (** record heuristic-quality samples ({!Rg.hsample}) along the
+          solution path (default [false]; adds a PLRG sweep per queued
+          RG node, so leave off when benchmarking) *)
+  defer_h : bool;
+      (** lazy two-stage heuristic evaluation in the RG search (default
+          [true]); see {!Rg.search} *)
+  deadline_ms : float option;
+      (** per-request wall-clock budget (monotonic); [None] (default)
+          never expires *)
+}
+
+val default_config : config
+
+type failure_reason =
+  | Invalid_spec of string
+  | Unreachable_goal of string list
+      (** the PLRG proves the goals logically unreachable; carries the
+          labels of the goal propositions with infinite PLRG cost *)
+  | Resource_exhausted
+      (** goals logically reachable, but every candidate tail violates
+          resources — the scenario-A failure mode *)
+  | Search_limit of { expansions : int; best_f : float }
+      (** RG expansion budget exceeded; [best_f] is an admissible lower
+          bound on the cost of any plan a longer search could find *)
+  | Deadline_exceeded of {
+      phase : string;  (** ["compile"], ["plrg"], or ["rg"] *)
+      expansions : int;  (** RG expansions completed (0 outside the RG) *)
+      best_f : float option;
+          (** admissible lower bound when the RG frontier was reached *)
+    }
+
+type stats = {
+  total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)
+  plrg_props : int;  (** Table 2 col 6 (left) *)
+  plrg_actions : int;  (** Table 2 col 6 (right) *)
+  slrg_nodes : int;  (** Table 2 col 7 — this request's share *)
+  rg_created : int;  (** Table 2 col 8 (left) *)
+  rg_open_left : int;  (** Table 2 col 8 (right) *)
+  rg_expanded : int;
+  replay_pruned : int;
+  final_replay_rejected : int;
+  rg_duplicates : int;
+  order_repaired : int;
+  slrg_cache_hits : int;
+      (** SLRG queries answered from cache {e during this request} (warm
+          sessions report per-request deltas; for a one-shot run these
+          equal the oracle totals) *)
+  slrg_suffix_harvested : int;
+  slrg_bound_promoted : int;
+  slrg_deferred : int;
+  slrg_saved : int;
+  invalidated_actions : int;
+      (** actions the {!update}s since the previous plan call could not
+          reuse (recompiled or dropped); 0 on cold runs *)
+  evicted_entries : int;
+      (** oracle cache entries (solved + h_max) evicted by those
+          updates; 0 on cold runs *)
+  t_total_ms : float;  (** Table 2 col 9 (left) *)
+  t_search_ms : float;  (** Table 2 col 9 (right): graph phases only *)
+}
+
+(** Everything a planning run needs.  Build with {!request}; override
+    fields with record update syntax ([{ req with config = ... }]). *)
+type request = {
+  topo : Sekitei_network.Topology.t;
+  app : Sekitei_spec.Model.app;
+  leveling : Sekitei_spec.Leveling.t;
+  config : config;
+  telemetry : Sekitei_telemetry.Telemetry.t;
+}
+
+(** Smart constructor: [config] defaults to {!default_config}, [telemetry]
+    to {!Sekitei_telemetry.Telemetry.null} (zero-overhead), [leveling] to
+    the empty (greedy) leveling. *)
+val request :
+  ?config:config ->
+  ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?leveling:Sekitei_spec.Leveling.t ->
+  Sekitei_network.Topology.t ->
+  Sekitei_spec.Model.app ->
+  request
+
+(** One phase of the pipeline: wall time, a characteristic size, and the
+    phase's GC footprint.  On a warm request the compile and plrg phases
+    report [ms = 0.] (the work was done by an earlier request or update)
+    while keeping their item counts. *)
+type phase = {
+  ms : float;
+  items : int;
+  minor_words : float;
+  major_collections : int;
+}
+
+(** Cross-query reuse counters of the SLRG cost oracle (printed by
+    {!pp_phases} as [slrg_cache=hits/harvested/promoted]). *)
+type slrg_cache = {
+  hits : int;  (** queries answered without running an A* *)
+  harvested : int;  (** suffix entries recorded beyond queried roots *)
+  promoted : int;  (** exhausted bounds replaced by exact entries *)
+}
+
+(** Session-reuse counters (printed by {!pp_phases} as
+    [reuse=invalidated/evicted]); both 0 for one-shot runs and for warm
+    requests with no intervening {!update}. *)
+type reuse_counters = { invalidated : int; evicted : int }
+
+type phases = {
+  compile : phase;  (** items = leveled actions after pruning *)
+  plrg : phase;  (** items = relevant propositions *)
+  slrg : phase;
+      (** items = set nodes generated this request; [ms] = oracle
+          construction (first request only) plus the footprint of its
+          lazy queries, which run {e inside} the RG search *)
+  slrg_cache : slrg_cache;
+  rg : phase;  (** items = RG nodes created *)
+  reuse : reuse_counters;
+}
+
+type report = {
+  result : (Plan.t, failure_reason) Stdlib.result;
+  phases : phases;
+  stats : stats;
+  explanation : Explain.t option;
+  certificate : Explain.certificate option;
+  hquality : Rg.hsample list option;
+}
+
+(** A topology perturbation, mirroring {!Sekitei_network.Mutate}.  Node
+    and link ids refer to the session's {e current} topology
+    ({!topology}); [Remove_link] and [Fail_node] renumber the surviving
+    links densely, so subsequent deltas must use post-delta link ids. *)
+type delta =
+  | Set_node_resource of { node : int; resource : string; value : float }
+  | Set_link_resource of { link : int; resource : string; value : float }
+  | Remove_link of { link : int }
+  | Fail_node of { node : int }
+
+type t
+
+(** [create req] opens a session on the request's (topology, app,
+    leveling, config, telemetry).  Nothing is compiled until the first
+    {!plan} call.  [adjust] (per-placement cost adjustments, see
+    {!Compile.compile}) is fixed for the session's lifetime —
+    incremental recompilation reuses grounded actions, which bake the
+    adjustment into their cost bounds. *)
+val create : ?adjust:(comp:string -> node:int -> float) -> request -> t
+
+(** The session's current topology (reflecting every {!update} so far). *)
+val topology : t -> Sekitei_network.Topology.t
+
+(** Whether compiled state is resident, i.e. the next {!plan} skips the
+    compile and plrg phases.  False before the first plan and after an
+    {!update} had to flush. *)
+val is_warm : t -> bool
+
+(** Serve one plan request from the session state, compiling it first if
+    this is the first call (or the state was flushed).  Emits the same
+    telemetry span tree as the one-shot planner; on failure the ["plan"]
+    span's end event additionally carries a ["failure"] string attribute
+    with the {!pp_failure}-rendered reason. *)
+val plan : t -> report
+
+(** [update t delta] mutates the session's topology and incrementally
+    revalidates the compiled state: untouched grounding groups are
+    copied, touched ones recompiled, the PLRG is rebuilt, and oracle
+    entries inside the delta's taint cone are evicted.  The invalidation
+    work is accumulated into the next {!plan} report's
+    [invalidated_actions] / [evicted_entries] counters.  Falls back to a
+    full flush (next plan compiles cold) when the delta changes the
+    initial proposition section — set canonicalization itself shifts —
+    or when the mutated spec no longer compiles.  Returns [t] (the
+    session is updated in place). *)
+val update : t -> delta -> t
+
+val pp_failure : Format.formatter -> failure_reason -> unit
+val pp_stats : Format.formatter -> stats -> unit
+val pp_phases : Format.formatter -> phases -> unit

@@ -1,6 +1,7 @@
 module Heap = Sekitei_util.Heap
 module Itbl = Hashtbl.Make (Int)
 module Timer = Sekitei_util.Timer
+module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
 
 (* A budget-exhausted query caches its admissible bound together with the
@@ -34,11 +35,15 @@ let harvest_cap = 4096
    hashing and no option allocation.  The FNV walk over the set elements
    runs once per distinct set, inside the interner. *)
 type t = {
-  problem : Problem.t;
-  plrg : Plrg.t;
+  mutable problem : Problem.t;
+  mutable plrg : Plrg.t;
   ctx : Propset.ctx;
-  supports : Supports.t;
+  mutable supports : Supports.t;
   query_budget : int;
+  mutable deadline : Deadline.t;
+      (** per-request cancellation token (see {!begin_request}); polled
+          every 64 expansions and treated exactly like budget exhaustion,
+          so an interrupted query still records an admissible bound *)
   mutable solved_val : float array;
       (** exact set cost by interned id, NaN = not solved (infinity is a
           legitimate solved value: logically infeasible set) *)
@@ -78,6 +83,7 @@ let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
     ctx = Propset.make_ctx problem;
     supports = Supports.make problem plrg;
     query_budget;
+    deadline = Deadline.none;
     solved_val = Array.make 1024 Float.nan;
     solved_ids = [];
     bound_val = Array.make 1024 Float.nan;
@@ -248,9 +254,13 @@ let run_query t (root : Propset.handle) ~prior ~budget =
             (* infinity when nothing completed *)
         | Some ((set, g), f) ->
             if !best_complete <= f then result := Some !best_complete
-            else if !expansions >= budget then begin
-              (* Budget exhausted: the open minimum is still an
-                 admissible bound, but not exact. *)
+            else if
+              !expansions >= budget
+              || (!expansions land 63 = 0 && Deadline.expired t.deadline)
+            then begin
+              (* Budget exhausted (or the request deadline fired — same
+                 graceful path): the open minimum is still an admissible
+                 bound, but not exact. *)
               exact := false;
               result := Some (Float.min !best_complete f)
             end
@@ -423,3 +433,54 @@ let iter_solved t f =
   List.iter
     (fun sid -> f (Propset.handle_of_id t.ctx sid).Propset.set t.solved_val.(sid))
     t.solved_ids
+
+(* ------------------------------------------------------------------ *)
+(* Session support: per-request reset and delta invalidation            *)
+(* ------------------------------------------------------------------ *)
+
+(* Exact solved entries and h_max values are path-independent facts about
+   the problem, so they may be carried across requests; exhausted-query
+   bounds are not — they depend on the budget, the escalation pool, and
+   the order earlier queries arrived in.  Dropping every bound and
+   refilling the escalation pool at each request start is what makes a
+   warm re-plan bit-identical to a cold one (provided no root query
+   exhausts its budget in the cold run; see {!Session}). *)
+let begin_request t ~deadline =
+  Array.fill t.bound_val 0 (Array.length t.bound_val) Float.nan;
+  Array.fill t.bound_spent 0 (Array.length t.bound_spent) 0;
+  t.escalation_pool <- escalation_pool_factor * t.query_budget;
+  t.deadline <- deadline
+
+let refresh t (pb : Problem.t) plrg ~dirty =
+  t.problem <- pb;
+  t.plrg <- plrg;
+  t.supports <- Supports.make pb plrg;
+  Propset.refresh_ctx t.ctx pb;
+  let evicted = ref 0 in
+  (* Solved entries over a set with a dirty proposition may regress
+     through tainted actions; everything else regresses through actions
+     identical in the old and new problems (see {!Supports.taint}) and
+     stays exact. *)
+  t.solved_ids <-
+    List.filter
+      (fun sid ->
+        let set = (Propset.handle_of_id t.ctx sid).Propset.set in
+        if Array.exists dirty set then begin
+          t.solved_val.(sid) <- Float.nan;
+          incr evicted;
+          false
+        end
+        else true)
+      t.solved_ids;
+  (* PLRG h_max of a clean set is unchanged (clean propositions keep
+     their per-proposition costs); dirty sets must recompute against the
+     rebuilt PLRG. *)
+  for id = 0 to Array.length t.hmax_by_id - 1 do
+    if not (Float.is_nan t.hmax_by_id.(id)) then
+      let set = (Propset.handle_of_id t.ctx id).Propset.set in
+      if Array.exists dirty set then begin
+        t.hmax_by_id.(id) <- Float.nan;
+        incr evicted
+      end
+  done;
+  !evicted

@@ -103,3 +103,26 @@ val bound_promoted : t -> int
     Exposed for cache-consistency tests and diagnostics; the iteration
     order is unspecified. *)
 val iter_solved : t -> (int array -> float -> unit) -> unit
+
+(** [begin_request t ~deadline] resets the per-request state before a
+    (possibly warm) plan request: every exhausted-query bound is dropped,
+    the escalation pool is refilled, and [deadline] becomes the token
+    polled (every 64 expansions) by subsequent queries.  Exact solved
+    entries and memoized h_max values are kept — they are
+    path-independent facts about the problem — while bounds depend on
+    budgets and query order and would make warm results diverge from a
+    cold run.  A query interrupted by the deadline behaves exactly like a
+    budget-exhausted one: it returns (and caches) an admissible lower
+    bound. *)
+val begin_request : t -> deadline:Sekitei_util.Deadline.t -> unit
+
+(** [refresh t pb plrg ~dirty] rebinds a live oracle to a recompiled
+    problem after a topology delta: the supports table is rebuilt against
+    the new PLRG, the shared {!Propset.ctx} regression tables are
+    refreshed ({!Propset.refresh_ctx}), and every solved / h_max cache
+    entry whose set contains a proposition with [dirty p = true] is
+    evicted (see {!Supports.taint} for why clean entries stay exact).
+    Returns the number of entries evicted.  The caller must have checked
+    that [pb.init] is unchanged — otherwise the interner is invalid and
+    the oracle must be rebuilt with {!create}. *)
+val refresh : t -> Problem.t -> Plrg.t -> dirty:(int -> bool) -> int

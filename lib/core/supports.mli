@@ -17,6 +17,25 @@ val make : Problem.t -> Plrg.t -> t
     shared scratch bitmap), like the searches that call it. *)
 val candidates : t -> int array -> int array
 
+(** [taint pb ~node_touched ~link_touched] computes the invalidation
+    cone of a topology delta as a worklist fixpoint over the reverse
+    (proposition -> consuming action) index: actions grounded at a
+    touched node/link are tainted, their add-closure propositions become
+    dirty, and actions with a dirty precondition are tainted in turn.
+    Returns [(tainted, dirty)] — bool arrays over action ids and
+    proposition ids.  Soundness invariant for cache eviction: a cached
+    value over a set with no dirty proposition only ever regresses
+    through untainted actions, which are identical in the old and new
+    problems.  Callers apply this to both the pre- and post-delta
+    problems and take the union (a delta can both remove and create
+    grounded actions).  [link_touched] receives the problem's own link
+    ids (pre-renumbering for the old problem, post- for the new). *)
+val taint :
+  Problem.t ->
+  node_touched:(int -> bool) ->
+  link_touched:(int -> bool) ->
+  bool array * bool array
+
 (** [candidates_h t h] is {!candidates} over an interned handle, memoized
     on the handle's dense id (one int-keyed probe per revisit).  All
     handles passed to one [t] must come from a single

@@ -25,6 +25,7 @@ type record = {
   slrg_deferred : int;
   slrg_saved : int;
   search_ms : float;
+  warm_search_ms : float;
   compile_ms : float;
   plrg_ms : float;
   slrg_ms : float;
@@ -43,7 +44,7 @@ let median xs =
   else if n mod 2 = 1 then a.(n / 2)
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-let measure ?config ?(repeat = 1) (sc : Scenarios.t) level =
+let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
   let repeat = Stdlib.max 1 repeat in
   let leveling = Media.leveling level sc.Scenarios.app in
   let runs =
@@ -63,6 +64,26 @@ let measure ?config ?(repeat = 1) (sc : Scenarios.t) level =
   let first = List.hd runs in
   let s = first.Planner.stats in
   let med f = median (List.map f runs) in
+  (* Warm timings come from a {!Planner.Session}: one cold plan compiles
+     the problem and fills the oracle, then [repeat] warm re-plans are
+     timed and the median recorded — the cross-request reuse the Session
+     API exists for.  The cold figures above stay one-shot runs so they
+     remain comparable with pre-session baselines; 0.0 when [warm] was
+     not requested, keeping the schema fixed. *)
+  let warm_search_ms =
+    if not warm then 0.
+    else begin
+      Gc.compact ();
+      let session =
+        Planner.Session.create
+          (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+      in
+      ignore (Planner.Session.plan session);
+      median
+        (List.init repeat (fun _ ->
+             (Planner.Session.plan session).Planner.stats.Planner.t_search_ms))
+    end
+  in
   {
     scenario =
       Printf.sprintf "%s-%s" sc.Scenarios.name (Media.scenario_name level);
@@ -76,6 +97,7 @@ let measure ?config ?(repeat = 1) (sc : Scenarios.t) level =
     slrg_deferred = s.Planner.slrg_deferred;
     slrg_saved = s.Planner.slrg_saved;
     search_ms = med (fun r -> r.Planner.stats.Planner.t_search_ms);
+    warm_search_ms;
     compile_ms = med (fun r -> r.Planner.phases.Planner.compile.Planner.ms);
     plrg_ms = med (fun r -> r.Planner.phases.Planner.plrg.Planner.ms);
     slrg_ms = med (fun r -> r.Planner.phases.Planner.slrg.Planner.ms);
@@ -88,11 +110,11 @@ let measure ?config ?(repeat = 1) (sc : Scenarios.t) level =
     wall_ms_batch = 0.;
   }
 
-let run_default ?config ?(repeat = 1) ?(jobs = 1) () =
+let run_default ?config ?(repeat = 1) ?(jobs = 1) ?(warm = false) () =
   let t = Timer.start () in
   let records =
     Domain_pool.map ~jobs
-      (fun (sc, level) -> measure ?config ~repeat sc level)
+      (fun (sc, level) -> measure ?config ~repeat ~warm sc level)
       [
         (Scenarios.tiny (), Media.C);
         (Scenarios.small (), Media.C);
@@ -123,6 +145,7 @@ let record_to_json ?tag r =
         ("slrg_deferred", Json.Int r.slrg_deferred);
         ("slrg_saved", Json.Int r.slrg_saved);
         ("search_ms", ms r.search_ms);
+        ("warm_search_ms", ms r.warm_search_ms);
         ("compile_ms", ms r.compile_ms);
         ("plrg_ms", ms r.plrg_ms);
         ("slrg_ms", ms r.slrg_ms);
@@ -152,6 +175,7 @@ let required_keys =
     "\"slrg_deferred\"";
     "\"slrg_saved\"";
     "\"search_ms\"";
+    "\"warm_search_ms\"";
     "\"compile_ms\"";
     "\"plrg_ms\"";
     "\"slrg_ms\"";
@@ -215,8 +239,8 @@ let parse_check doc =
                 | "major_collections" | "jobs" ),
                 Json.Int _ ) ->
                 None
-            | ( ( "search_ms" | "compile_ms" | "plrg_ms" | "slrg_ms" | "rg_ms"
-                | "minor_words" | "wall_ms_batch" ),
+            | ( ( "search_ms" | "warm_search_ms" | "compile_ms" | "plrg_ms"
+                | "slrg_ms" | "rg_ms" | "minor_words" | "wall_ms_batch" ),
                 (Json.Float _ | Json.Int _) ) ->
                 None
             | _ -> Some k)
@@ -225,9 +249,9 @@ let parse_check doc =
         [
           "scenario"; "actions"; "rg_created"; "rg_expanded"; "rg_duplicates";
           "slrg_cache_hits"; "slrg_suffix_harvested"; "slrg_bound_promoted";
-          "slrg_deferred"; "slrg_saved"; "search_ms"; "compile_ms"; "plrg_ms";
-          "slrg_ms"; "rg_ms"; "minor_words"; "major_collections"; "jobs";
-          "wall_ms_batch";
+          "slrg_deferred"; "slrg_saved"; "search_ms"; "warm_search_ms";
+          "compile_ms"; "plrg_ms"; "slrg_ms"; "rg_ms"; "minor_words";
+          "major_collections"; "jobs"; "wall_ms_batch";
         ]
       in
       let rec go i = function
@@ -259,13 +283,17 @@ type delta = {
 
 (* The gated metrics: RG search wall time, RG nodes created (exactly
    reproducible — it catches search-space blowups that a fast machine
-   would hide), and the SLRG share of the search. *)
-let gated_metrics = [ "search_ms"; "rg_created"; "slrg_ms" ]
+   would hide), the SLRG share of the search, and the warm session
+   re-plan time (a cross-request reuse regression shows up there first;
+   when neither baseline nor current run measured warm, both sides are
+   0.0 and the comparison is a no-op). *)
+let gated_metrics = [ "search_ms"; "rg_created"; "slrg_ms"; "warm_search_ms" ]
 
 let metric_of_record r = function
   | "search_ms" -> r.search_ms
   | "rg_created" -> float_of_int r.rg_created
   | "slrg_ms" -> r.slrg_ms
+  | "warm_search_ms" -> r.warm_search_ms
   | m -> invalid_arg ("Bench_json.metric_of_record: " ^ m)
 
 let diff_baseline ~baseline records =

@@ -3,8 +3,9 @@
     Emits one flat JSON object per (scenario, level) pair —
     [{scenario, actions, rg_created, rg_expanded, rg_duplicates,
     slrg_cache_hits, slrg_suffix_harvested, slrg_bound_promoted,
-    slrg_deferred, slrg_saved, search_ms, compile_ms, plrg_ms, slrg_ms,
-    rg_ms, minor_words, major_collections, jobs, wall_ms_batch}] —
+    slrg_deferred, slrg_saved, search_ms, warm_search_ms, compile_ms,
+    plrg_ms, slrg_ms, rg_ms, minor_words, major_collections, jobs,
+    wall_ms_batch}] —
     collected into a JSON array written to [BENCH_rg.json] so the
     planner's perf trajectory (per-phase split, SLRG cache reuse,
     deferred-evaluation savings, search-phase GC footprint) is tracked
@@ -22,6 +23,11 @@ type record = {
   slrg_deferred : int;  (** RG nodes queued under the cheap PLRG bound *)
   slrg_saved : int;  (** SLRG queries never run thanks to deferral *)
   search_ms : float;  (** graph phases total (plrg + slrg create + rg) *)
+  warm_search_ms : float;
+      (** [t_search_ms] of a warm {!Sekitei_core.Planner.Session} re-plan
+          (median over the repeats, after one untimed cold plan); [0.]
+          when the run did not measure warm timings ([--warm] off), so
+          the schema is fixed either way *)
   compile_ms : float;  (** {!Sekitei_core.Planner.phases} [compile.ms] *)
   plrg_ms : float;
   slrg_ms : float;
@@ -42,10 +48,14 @@ type record = {
 (** Solve the scenario at the given level and collect its record.
     [repeat] (default 1) re-runs the planner and records the {e median}
     of every timing (and of [minor_words]); counters come from the first
-    run — the planner is deterministic, so they agree across repeats. *)
+    run — the planner is deterministic, so they agree across repeats.
+    [warm] (default [false]) additionally opens a planning session, runs
+    one untimed cold plan, and records the median [t_search_ms] of
+    [repeat] warm re-plans as [warm_search_ms]. *)
 val measure :
   ?config:Sekitei_core.Planner.config ->
   ?repeat:int ->
+  ?warm:bool ->
   Scenarios.t ->
   Sekitei_domains.Media.scenario ->
   record
@@ -59,6 +69,7 @@ val run_default :
   ?config:Sekitei_core.Planner.config ->
   ?repeat:int ->
   ?jobs:int ->
+  ?warm:bool ->
   unit ->
   record list
 
@@ -81,9 +92,12 @@ val write_file : string -> string -> unit
     [bench --json --baseline BENCH_rg.json --max-regress PCT] diffs the
     current run against the checked-in baseline and exits non-zero when
     any gated metric regressed by more than [PCT] percent.  The gated
-    metrics are [search_ms], [rg_created] and [slrg_ms]; [rg_created] is
-    machine-independent, so a search-space blowup trips the gate even on
-    hardware fast enough to hide it in the timings. *)
+    metrics are [search_ms], [rg_created], [slrg_ms] and
+    [warm_search_ms]; [rg_created] is machine-independent, so a
+    search-space blowup trips the gate even on hardware fast enough to
+    hide it in the timings, and [warm_search_ms] catches cross-request
+    reuse regressions (compared only when measured on both sides — an
+    unmeasured run records 0.0, and 0-vs-0 never trips). *)
 
 (** One (scenario, metric) comparison.  [d_pct] is the relative change
     in percent, positive when the current run is worse (higher). *)

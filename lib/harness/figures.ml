@@ -50,7 +50,7 @@ let describe_outcome pb (report : Planner.report) =
         (Table.float_cell p.Plan.metrics.Replay.lan_peak)
         (Table.float_cell p.Plan.metrics.Replay.wan_peak)
         (Plan.to_string pb p)
-  | Error r -> Format.asprintf "NO PLAN: %a" Planner.pp_failure_reason r
+  | Error r -> Format.asprintf "NO PLAN: %a" Planner.pp_failure r
 
 let fig3_4 () =
   let sc = Scenarios.tiny () in
@@ -93,7 +93,7 @@ let fig5 ?(weights = [ 0.25; 0.5; 0.75; 1.0; 1.25; 1.5; 2.0; 3.0; 4.0 ]) () =
           Table.add_row t
             [
               Printf.sprintf "%g" alpha; "-"; "-";
-              Format.asprintf "no plan (%a)" Planner.pp_failure_reason r;
+              Format.asprintf "no plan (%a)" Planner.pp_failure r;
             ])
     weights;
   "Figure 5: cost weights flip the chosen plan (chain domain; place weight \
@@ -173,7 +173,7 @@ let postprocess_ablation () =
       | None -> pf "    post-processing unexpectedly failed.\n")
   | Error r ->
       pf "(a) unexpected greedy failure: %a\n"
-        (fun () -> Format.asprintf "%a" Planner.pp_failure_reason) r);
+        (fun () -> Format.asprintf "%a" Planner.pp_failure) r);
   (* (b) The paper's Scenario 1: greedy has nothing to post-process. *)
   let sc = Scenarios.tiny () in
   let greedy = Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app) in
@@ -189,7 +189,7 @@ let postprocess_ablation () =
      plan - resource levels are required.\n"
     (match greedy.Planner.result with
     | Ok _ -> "found a plan (unexpected)"
-    | Error r -> Format.asprintf "%a" Planner.pp_failure_reason r)
+    | Error r -> Format.asprintf "%a" Planner.pp_failure r)
     (match leveled.Planner.result with
     | Ok p -> Printf.sprintf "%d-action plan" (Plan.length p)
     | Error _ -> "no plan (unexpected)");

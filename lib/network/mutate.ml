@@ -43,6 +43,25 @@ let remove_link t link =
   in
   rebuild (Array.to_list (nodes t)) links
 
+(* The old-to-new link id mapping induced by [renumber] after deleting
+   [removed]: filtering preserves order, so survivors are renumbered
+   densely in ascending old-id order. *)
+let renumber_map ~removed ~link_count =
+  let gone = Array.make (max link_count 0) false in
+  List.iter
+    (fun l -> if l >= 0 && l < link_count then gone.(l) <- true)
+    removed;
+  let map = Array.make (max link_count 0) (-1) in
+  let next = ref 0 in
+  for l = 0 to link_count - 1 do
+    if not gone.(l) then begin
+      map.(l) <- !next;
+      incr next
+    end
+  done;
+  fun l ->
+    if l < 0 || l >= link_count || map.(l) < 0 then None else Some map.(l)
+
 let fail_node t node =
   let nodes =
     Array.to_list (nodes t)

@@ -19,8 +19,18 @@ val set_node_resource : t -> node_id -> string -> float -> t
 val scale_links : ?kind:link_kind -> t -> string -> float -> t
 
 (** [remove_link t link] deletes a link (remaining links are re-numbered
-    densely; returns the new topology). *)
+    densely; returns the new topology).  Callers holding link ids across
+    the mutation must translate them with {!renumber_map} — a pre-delta
+    id silently names a {e different} surviving link afterwards. *)
 val remove_link : t -> link_id -> t
+
+(** [renumber_map ~removed ~link_count] is the old-to-new link id mapping
+    induced by deleting the [removed] ids from a topology with
+    [link_count] links and renumbering densely (what {!remove_link} and
+    {!fail_node} do): [None] for removed (or out-of-range) ids, [Some]
+    of the post-delta id otherwise.  Survivors keep their relative
+    order. *)
+val renumber_map : removed:link_id list -> link_count:int -> link_id -> link_id option
 
 (** [fail_node t node] models a node failure: its CPU-style resources all
     drop to 0 and every incident link is removed.  The node itself remains

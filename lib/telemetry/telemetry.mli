@@ -63,7 +63,15 @@ type span
 val begin_span : t -> string -> span
 
 (** Closes the span and returns its duration in ms (also meaningful under
-    {!null}).  [attrs] land on the [Span_end] event. *)
+    {!null}).  [attrs] land on the [Span_end] event.
+
+    Well-known attrs: the planner's ["plan"] span ends with
+    [("ok", Bool)] for the outcome, and on failure additionally
+    [("failure", Str)] — the {!Sekitei_core.Planner.pp_failure}-rendered
+    reason — so trace consumers (e.g. tools/trace_report) can surface
+    why a traced run returned no plan without linking the core library;
+    a session ["compile"] span triggered by an update carries
+    [("invalidated", Int)], the actions it could not reuse. *)
 val end_span : ?attrs:(string * value) list -> t -> span -> float
 
 (** [with_span t name f] runs [f] inside a span; the span is closed even

@@ -26,6 +26,20 @@ come from the first run; they are identical across repeats anyway):
   $ ../bench/main.exe --json --check --repeat 2 --out repeat.json
   bench json: 3 records ok
 
+Without --warm the warm_search_ms field is recorded as 0.0 (schema
+stays fixed); with it, each scenario is re-planned through a warm
+planning session and the field carries a real timing:
+
+  $ grep -c '"warm_search_ms": 0.0,' bench.json
+  3
+  $ ../bench/main.exe --json --check --warm --out warm.json
+  bench json: 3 records ok
+  $ grep -c '"warm_search_ms"' warm.json
+  3
+  $ grep -c '"warm_search_ms": 0.0,' warm.json
+  0
+  [1]
+
 --baseline diffs the run against a checked-in baseline and gates on
 regression.  Against the just-written baseline everything is within
 tolerance and the gate passes (the tolerance is generous here because

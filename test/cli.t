@@ -37,6 +37,50 @@ worker-domain count; output order is always argument order):
   spec.file: plan cost 9.6 (4 actions)
   spec.file: plan cost 9.6 (4 actions)
 
+Long-lived sessions: a script drives one session through plans and
+topology updates.  The first plan compiles (cold); re-plans are warm and
+report the invalidation work of intervening updates:
+
+  $ cat > session.script <<'EOF'
+  > # replan twice, then degrade the hub->tv link
+  > plan
+  > plan
+  > update set-link 1 lbw 12
+  > plan
+  > EOF
+  $ sekitei session --spec spec.file session.script
+  plan 1 (cold): cost 9.6 (4 actions), invalidated=0 evicted=0
+  plan 2 (warm): cost 9.6 (4 actions), invalidated=0 evicted=0
+  update set-link 1 lbw 12: ok (3 nodes, 2 links)
+  plan 3 (warm): cost 9.6 (4 actions), invalidated=8 evicted=11
+
+Removing the only route renumbers the surviving links and makes the next
+plan fail with a non-zero exit:
+
+  $ cat > fail.script <<'EOF'
+  > plan
+  > update remove-link 1
+  > plan
+  > EOF
+  $ sekitei session --spec spec.file fail.script
+  plan 1 (cold): cost 9.6 (4 actions), invalidated=0 evicted=0
+  update remove-link 1: ok (3 nodes, 1 links)
+  plan 2 (warm): no plan: goal logically unreachable (placed(Viewer,tv)), invalidated=8 evicted=11
+  [1]
+
+Script errors name the offending line and exit 2:
+
+  $ echo "frobnicate 1" > bad.script
+  $ sekitei session --spec spec.file bad.script
+  bad.script:1: unknown command "frobnicate" (expected plan/update)
+  [2]
+
+--deadline bounds a request's wall clock; an exhausted budget names the
+phase that gave up:
+
+  $ sekitei plan --spec spec.file --deadline 0 | head -1
+  No plan: deadline exceeded in compile phase
+
 Table 1 prints the level scenarios:
 
   $ sekitei table1 | grep "| C"

@@ -48,7 +48,7 @@ let test_media_custom_supply_demand () =
   in
   match (Planner.plan (Planner.request topo app ~leveling)).Planner.result with
   | Ok p -> Alcotest.(check int) "direct" 2 (Plan.length p)
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 (* ---------------- chain (Figure 5) ---------------- *)
 
@@ -109,13 +109,13 @@ let test_gridflow_plans () =
         (match List.assoc_opt "Analyze" placements with
         | Some n -> n <= 1
         | None -> false)
-  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_gridflow_deadline_prunes () =
   (* Total latency is 15 (links) + 5 (analyze) = 20. *)
   (match gridflow_solve ~deadline:20. () with
   | Ok _, _ -> ()
-  | Error r, _ -> Alcotest.failf "20 should work: %a" Planner.pp_failure_reason r);
+  | Error r, _ -> Alcotest.failf "20 should work: %a" Planner.pp_failure r);
   match gridflow_solve ~deadline:19. () with
   | Ok _, _ -> Alcotest.fail "19 must be infeasible"
   | Error _, _ -> ()
@@ -124,7 +124,7 @@ let test_gridflow_latency_metric () =
   match gridflow_solve () with
   | Ok p, _pb ->
       Alcotest.(check bool) "cost positive" true (p.Plan.cost_lb > 0.)
-  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_gridflow_valid_spec () =
   let topo = Gridflow.topology ~link_lats:[ 1. ] ~bws:[ 100. ] in

@@ -22,7 +22,7 @@ let explaining = { Planner.default_config with Planner.explain = true }
 let expect_plan what (report : Planner.report) =
   match report.Planner.result with
   | Ok p -> p
-  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure r
 
 let contains hay needle =
   let nh = String.length hay and nn = String.length needle in
@@ -109,7 +109,7 @@ let test_unreachable_certificate () =
   (match o.Planner.result with
   | Ok _ -> Alcotest.fail "partitioned instance solved"
   | Error (Planner.Unreachable_goal _) -> ()
-  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r);
+  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r);
   match o.Planner.certificate with
   | Some (Explain.Unreachable_cut { goal; cut; chain }) ->
       Alcotest.(check bool) "goal named" true (goal <> "");
@@ -133,7 +133,7 @@ let test_frontier_certificate () =
   (match o.Planner.result with
   | Error (Planner.Search_limit _) -> ()
   | Ok _ -> Alcotest.fail "budget-1 search solved Small-C"
-  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r);
+  | Error r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r);
   match o.Planner.certificate with
   | Some (Explain.Search_frontier { best_f; tail; unmet }) ->
       Alcotest.(check bool) "positive admissible bound" true (best_f > 0.);

@@ -44,7 +44,7 @@ let test_adjust_never_negative () =
   in
   match o.Planner.result with
   | Ok p -> Alcotest.(check bool) "bound >= 0" true (p.Plan.cost_lb >= 0.)
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 (* ---------------- redeploy ---------------- *)
 
@@ -54,7 +54,7 @@ let small_deployment () =
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
   match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p -> (sc, leveling, pb, p)
-  | Error r -> Alcotest.failf "initial plan failed: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "initial plan failed: %a" Planner.pp_failure r
 
 let test_redeploy_keeps_when_unchanged () =
   let sc, leveling, pb, p = small_deployment () in
@@ -66,7 +66,7 @@ let test_redeploy_keeps_when_unchanged () =
       Alcotest.(check int) "all kept" (List.length previous) (List.length d.Redeploy.kept);
       Alcotest.(check int) "none moved" 0 (List.length d.Redeploy.moved);
       Alcotest.(check int) "none added" 0 (List.length d.Redeploy.added)
-  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure r
 
 let test_redeploy_discount_lowers_bound () =
   let sc, leveling, pb, p = small_deployment () in
@@ -75,7 +75,7 @@ let test_redeploy_discount_lowers_bound () =
   match o.Planner.result with
   | Ok p' ->
       Alcotest.(check bool) "discounted bound" true (p'.Plan.cost_lb < p.Plan.cost_lb)
-  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure r
 
 let test_redeploy_migrates_on_cpu_loss () =
   let sc, leveling, pb, p = small_deployment () in
@@ -100,7 +100,7 @@ let test_redeploy_migrates_on_cpu_loss () =
         (List.exists (fun (c, _, _) -> c = "Splitter") d.Redeploy.moved);
       Alcotest.(check bool) "client kept" true
         (List.mem ("Client", 0) d.Redeploy.kept)
-  | Error r -> Alcotest.failf "adaptation failed: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "adaptation failed: %a" Planner.pp_failure r
 
 let test_redeploy_diff_shapes () =
   let _, _, pb, p = small_deployment () in
@@ -128,7 +128,7 @@ let test_policy_extremes () =
   | Ok p' ->
       let d = Redeploy.diff ~previous pb p' in
       Alcotest.(check int) "nobody migrates" 0 (List.length d.Redeploy.moved)
-  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "replan failed: %a" Planner.pp_failure r
 
 (* ---------------- webservice domain ---------------- *)
 
@@ -145,7 +145,7 @@ let test_ws_secure_path_direct () =
       Alcotest.(check int) "direct" 4 (Plan.length p);
       Alcotest.(check bool) "no crypto" true
         (not (List.mem_assoc "Encryptor" (Plan.placements pb p)))
-  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_ws_insecure_middle_bracketed () =
   match ws_solve [ 1; 0; 1 ] with
@@ -162,7 +162,7 @@ let test_ws_insecure_middle_bracketed () =
             Alcotest.(check bool) "P on secure hops only" true
               ((src, dst) = (0, 1) || (src, dst) = (2, 3)))
         (Plan.crossings pb p)
-  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_ws_fully_insecure_end_to_end () =
   match ws_solve [ 0; 0; 0 ] with
@@ -172,7 +172,7 @@ let test_ws_fully_insecure_end_to_end () =
         (List.assoc_opt "Encryptor" placements);
       Alcotest.(check (option int)) "decrypt at sink" (Some 3)
         (List.assoc_opt "Decryptor" placements)
-  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r, _ -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_ws_valid_spec () =
   let topo = Webservice.topology ~secure:[ 1; 0 ] in
@@ -192,7 +192,7 @@ let test_deployment_dot () =
       List.iter
         (fun needle -> Alcotest.(check bool) needle true (contains dot needle))
         [ "digraph deployment"; "Splitter"; "Server"; "n0 -> n1"; "label=\"Z\"" ]
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let suite =
   [

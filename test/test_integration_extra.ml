@@ -22,7 +22,7 @@ let test_audit_scenario_e () =
   let leveling = Media.leveling Media.E sc.Scenarios.app in
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
   match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
   | Ok p -> (
       match Audit.of_plan pb p with
       | Error e -> Alcotest.failf "audit: %s" e
@@ -69,7 +69,7 @@ let test_gridflow_dsl_roundtrip () =
     (Sekitei_network.Topology.link_resource topo2 0 "lat");
   match (Planner.plan (Planner.request topo2 doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result with
   | Ok _ -> ()
-  | Error r -> Alcotest.failf "reparsed gridflow: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "reparsed gridflow: %a" Planner.pp_failure r
 
 let test_spec_file_on_disk () =
   (* The shipped example spec parses, validates and plans. *)
@@ -84,7 +84,7 @@ let test_spec_file_on_disk () =
       (List.length (Sekitei_spec.Validate.check topo doc.Dsl.app));
     match (Planner.plan (Planner.request topo doc.Dsl.app ~leveling:doc.Dsl.leveling)).Planner.result with
     | Ok p -> Alcotest.(check int) "4 actions" 4 (Plan.length p)
-    | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+    | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
   end
 
 let test_goal_and_available_mix () =
@@ -102,7 +102,7 @@ let test_goal_and_available_mix () =
   | Ok p ->
       (* the sink adds one zero-cost placement *)
       Alcotest.(check int) "8 actions" 8 (Plan.length p)
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_available_goal_too_high () =
   let sc = Scenarios.tiny () in

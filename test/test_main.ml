@@ -16,6 +16,7 @@ let () =
       ("core.replay.incremental", Test_replay_incremental.suite);
       ("core.graphs", Test_core_graphs.suite);
       ("core.planner", Test_planner.suite);
+      ("core.session", Test_session.suite);
       ("core.explain", Test_explain.suite);
       ("domains", Test_domains.suite);
       ("harness", Test_harness.suite);

@@ -22,7 +22,7 @@ let solve (sc : Scenarios.t) level =
 let expect_plan what (report : Planner.report) =
   match report.Planner.result with
   | Ok p -> p
-  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure r
 
 let expect_failure what (report : Planner.report) =
   match report.Planner.result with
@@ -35,7 +35,7 @@ let test_tiny_greedy_fails () =
   let o, _ = solve (Scenarios.tiny ()) Media.A in
   match expect_failure "tiny A" o with
   | Planner.Resource_exhausted -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_tiny_b_plan () =
   let o, _ = solve (Scenarios.tiny ()) Media.B in
@@ -118,7 +118,7 @@ let test_small_greedy_fails () =
   let o = Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app) in
   match expect_failure "small greedy" o with
   | Planner.Resource_exhausted -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_small_d_e_match_c () =
   let sc = Scenarios.small () in
@@ -201,7 +201,7 @@ let test_optimality_exhaustive_micro () =
   let best =
     match o.Planner.result with
     | Ok p -> p
-    | Error r -> Alcotest.failf "micro: no plan (%a)" Planner.pp_failure_reason r
+    | Error r -> Alcotest.failf "micro: no plan (%a)" Planner.pp_failure r
   in
   (* Exhaustive enumeration: all action sequences up to length 4. *)
   let goal = pb.Problem.goal_props.(0) in
@@ -232,7 +232,7 @@ let test_unreachable_goal () =
   let o = Planner.plan (Planner.request topo app ~leveling:(Media.leveling Media.C app)) in
   match expect_failure "partitioned" o with
   | Planner.Unreachable_goal _ -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_invalid_spec_reported () =
   let app = Media.app ~server:0 ~client:1 () in
@@ -240,7 +240,7 @@ let test_invalid_spec_reported () =
   let o = Planner.plan (Planner.request (G.line_kinds [ T.Wan ]) bad) in
   match expect_failure "invalid" o with
   | Planner.Invalid_spec _ -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_search_budget () =
   let sc = Scenarios.small () in
@@ -254,7 +254,7 @@ let test_search_budget () =
   in
   match expect_failure "budget" o with
   | Planner.Search_limit _ -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_insufficient_cpu_everywhere () =
   (* CPU 1 on every node: only the direct (impossible) route exists. *)
@@ -269,7 +269,7 @@ let test_insufficient_cpu_everywhere () =
      logically unreachable; either failure reason is correct. *)
   match expect_failure "no cpu" o with
   | Planner.Resource_exhausted | Planner.Unreachable_goal _ -> ()
-  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure_reason r
+  | r -> Alcotest.failf "wrong reason: %a" Planner.pp_failure r
 
 let test_direct_when_wide_enough () =
   (* A 150-unit link admits the direct 2-action plan; the planner must

@@ -16,7 +16,7 @@ module T = Sekitei_network.Topology
 let expect_plan what (report : Planner.report) =
   match report.Planner.result with
   | Ok p -> p
-  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "%s: no plan (%a)" what Planner.pp_failure r
 
 (* ---------------- multiple goals ---------------- *)
 
@@ -173,7 +173,7 @@ let test_neither_tag_exact () =
   let leveling = Leveling.with_iface Leveling.empty "X" "v" [ 40.; 60. ] in
   (match (Planner.plan (Planner.request topo (app "X.v >= 45") ~leveling)).Planner.result with
   | Ok _ -> ()
-  | Error r -> Alcotest.failf "50 satisfies >=45: %a" Planner.pp_failure_reason r);
+  | Error r -> Alcotest.failf "50 satisfies >=45: %a" Planner.pp_failure r);
   match (Planner.plan (Planner.request topo (app "X.v >= 60") ~leveling)).Planner.result with
   | Ok _ -> Alcotest.fail "a fixed 50 cannot satisfy >= 60"
   | Error _ -> ()

@@ -444,15 +444,30 @@ let prop_slrg_harvest_agrees =
 
 (* ---------------- deferred heuristic is outcome-identical ---------------- *)
 
-(* Deferred (two-stage) SLRG evaluation re-derives the exact eager
-   expansion order — same plan, same cost bound, same nodes created,
-   expanded and deduplicated — because a node is only processed once its
-   refined f-value is proven minimal in the frontier.  Anything short of
-   bit-identity here would void the optimality argument, so the property
-   compares every observable except the defer counters themselves. *)
+(* Deferred (two-stage) SLRG evaluation preserves the search outcome:
+   a node is only processed once its refined f-value is proven minimal in
+   the frontier, so the admissibility argument — and with it solvability
+   and the optimal cost bound — carries over unchanged.
+
+   The property deliberately does NOT demand a bit-identical replay.
+   Exact oracle values are path-independent only mathematically: a set
+   with several equally-optimal support paths gets its cached cost from
+   whichever query harvested it first, float addition is not associative,
+   and deferred evaluation issues a different query sequence than eager —
+   so h-values can disagree in the last ulp.  An ulp is enough to swap
+   f-tied nodes in the frontier, which perturbs [rg_expanded] /
+   [rg_created] and can make the search return a different equally-cheap
+   optimum (observed on ~2% of random media-line instances).  What must
+   survive any tie-break: the result constructor, the optimal cost bound,
+   and a budget-cutoff's admissible best-f evidence, all up to fp noise.
+
+   The generous per-query budget removes the other divergence source
+   (the same proviso {!Session} documents for warm-vs-cold replans): a
+   budget-exhausted query records a bound that depends on the shared
+   escalation pool, which the two modes drain differently. *)
 let prop_defer_identical =
-  Q.Test.make ~count:15 ~name:"deferred h replays the eager search exactly"
-    arb_instance
+  Q.Test.make ~count:15
+    ~name:"deferred h preserves outcome and optimal cost" arb_instance
     (fun inst ->
       let topo, app, leveling = media_line_instance inst in
       let run defer_h =
@@ -460,28 +475,86 @@ let prop_defer_identical =
           {
             Planner.default_config with
             Planner.rg_max_expansions = 5_000;
+            slrg_query_budget = 1_000_000;
             defer_h;
           }
         in
         Planner.plan (Planner.request ~config topo app ~leveling)
       in
       let eager = run false and deferred = run true in
+      let close a b = Float.abs (a -. b) <= 1e-6 in
       let same_result =
         match (eager.Planner.result, deferred.Planner.result) with
-        | Ok p1, Ok p2 ->
-            Plan.labels p1 = Plan.labels p2
-            && p1.Plan.cost_lb = p2.Plan.cost_lb
+        | Ok p1, Ok p2 -> close p1.Plan.cost_lb p2.Plan.cost_lb
+        | ( Error (Planner.Search_limit { best_f = f1; _ }),
+            Error (Planner.Search_limit { best_f = f2; _ }) ) ->
+            close f1 f2
         | Error r1, Error r2 -> r1 = r2
         | _ -> false
       in
       let s1 = eager.Planner.stats and s2 = deferred.Planner.stats in
       same_result
-      && s1.Planner.rg_created = s2.Planner.rg_created
-      && s1.Planner.rg_expanded = s2.Planner.rg_expanded
-      && s1.Planner.rg_duplicates = s2.Planner.rg_duplicates
-      && s1.Planner.order_repaired = s2.Planner.order_repaired
-      && s2.Planner.slrg_saved >= 0
-      && s1.Planner.slrg_deferred = 0)
+      && s1.Planner.slrg_deferred = 0
+      && s2.Planner.slrg_deferred >= s2.Planner.slrg_saved
+      && s2.Planner.slrg_saved >= 0)
+
+(* ---------------- warm session re-plans equal cold plans ---------------- *)
+
+(* The Session contract: after any sequence of deltas, a warm re-plan
+   agrees with a cold plan of the session's current topology on the
+   result constructor and the optimal cost bound (tie-breaks may differ
+   — the same ulp provisos as [prop_defer_identical] above, and the
+   generous query budget removes the budget-exhaustion divergence
+   source).  Each random case threads 1-3 resource deltas through one
+   session; deltas that make the spec infeasible are fine — warm and
+   cold must then fail with the same constructor. *)
+let prop_warm_equals_cold =
+  let arb =
+    Q.pair arb_instance
+      (Q.list_of_size (Q.Gen.int_range 1 3)
+         (Q.triple (Q.int_range 0 5) (Q.float_range 5. 160.) Q.bool))
+  in
+  Q.Test.make ~count:15 ~name:"session warm re-plan equals cold plan" arb
+    (fun (inst, deltas) ->
+      let topo, app, leveling = media_line_instance inst in
+      let config =
+        {
+          Planner.default_config with
+          Planner.rg_max_expansions = 5_000;
+          slrg_query_budget = 1_000_000;
+        }
+      in
+      let session =
+        Planner.Session.create (Planner.request ~config topo app ~leveling)
+      in
+      ignore (Planner.Session.plan session);
+      List.iter
+        (fun (site, value, is_node) ->
+          let delta =
+            if is_node then
+              Planner.Session.Set_node_resource
+                { node = site mod 3; resource = "cpu"; value }
+            else
+              Planner.Session.Set_link_resource
+                { link = site mod 2; resource = "lbw"; value }
+          in
+          ignore (Planner.Session.update session delta))
+        deltas;
+      let warm = Planner.Session.plan session in
+      let cold =
+        Planner.plan
+          (Planner.request ~config
+             (Planner.Session.topology session)
+             app ~leveling)
+      in
+      let close a b = Float.abs (a -. b) <= 1e-6 in
+      match (warm.Planner.result, cold.Planner.result) with
+      | Ok p1, Ok p2 -> close p1.Plan.cost_lb p2.Plan.cost_lb
+      | ( Error (Planner.Search_limit { best_f = f1; _ }),
+          Error (Planner.Search_limit { best_f = f2; _ }) ) ->
+          close f1 f2
+      | Error r1, Error r2 -> r1 = r2
+      | _ -> false)
 
 (* ---------------- leveling propagation property ---------------- *)
 
@@ -529,5 +602,6 @@ let suite =
       prop_repair_equals_bruteforce;
       prop_slrg_harvest_agrees;
       prop_defer_identical;
+      prop_warm_equals_cold;
       prop_propagation_wellformed;
     ]

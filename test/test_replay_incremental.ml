@@ -133,7 +133,7 @@ let search_cost ~dedup pb =
   let slrg = Slrg.create pb plrg in
   match Rg.search ~dedup pb plrg slrg with
   | Rg.Solution (_, _, cost), _ -> Some cost
-  | (Rg.Exhausted | Rg.Budget_exceeded _), _ -> None
+  | (Rg.Exhausted | Rg.Budget_exceeded _ | Rg.Deadline_reached _), _ -> None
 
 let check_dedup_neutral name pb expected =
   let with_dedup = search_cost ~dedup:true pb in

@@ -72,7 +72,7 @@ let audit_small () =
   let pb = Compile.compile sc.Scenarios.topo sc.Scenarios.app leveling in
   match (Planner.plan (Planner.request sc.Scenarios.topo sc.Scenarios.app ~leveling)).Planner.result with
   | Ok p -> (pb, p)
-  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure_reason r
+  | Error r -> Alcotest.failf "no plan: %a" Planner.pp_failure r
 
 let test_audit_tables () =
   let pb, p = audit_small () in
@@ -135,7 +135,7 @@ let test_suggest_plans_optimally () =
           end
       | Error r ->
           Alcotest.failf "%s with suggested levels: %a" sc.Scenarios.name
-            Planner.pp_failure_reason r)
+            Planner.pp_failure r)
     [ Scenarios.tiny (); Scenarios.small () ]
 
 let test_suggest_beats_fixed_band () =

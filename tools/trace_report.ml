@@ -29,6 +29,10 @@ type trace = {
   mutable gauges : (string * float) list;
   mutable progress : int;
   mutable bad_lines : int;
+  mutable plan_failure : string option;
+      (* "failure" attribute of a plan span's end event: the planner
+         attaches the rendered failure reason there when a run returns
+         no plan, so the report can lead with the outcome *)
 }
 
 let get_str j k = Option.bind (Json.member k j) Json.to_str
@@ -46,6 +50,9 @@ let add_event tr j =
             { name; parent; dur_ms = 0.; ended = false }
       | _ -> tr.bad_lines <- tr.bad_lines + 1)
   | Some "span_end" -> (
+      (match (get_str j "name", get_str j "failure") with
+      | Some "plan", Some reason -> tr.plan_failure <- Some reason
+      | _ -> ());
       match (get_int j "id", get_float j "dur_ms") with
       | Some id, Some dur_ms -> (
           match Hashtbl.find_opt tr.spans id with
@@ -73,6 +80,7 @@ let load path =
       gauges = [];
       progress = 0;
       bad_lines = 0;
+      plan_failure = None;
     }
   in
   let ic = open_in path in
@@ -249,6 +257,9 @@ let () =
         Printf.eprintf "%s: no spans found\n" path;
         exit 1
       end;
+      (match tr.plan_failure with
+      | Some reason -> Printf.printf "no plan: %s\n\n" reason
+      | None -> ());
       if self_mode then print_string (render_self tr)
       else print_string (render_tree (aggregate tr));
       print_string (render_counters tr);
