@@ -1,4 +1,4 @@
-.PHONY: build test check bench bench-json bench-gate profile clean
+.PHONY: build test lint cram check bench bench-json bench-gate profile clean
 
 build:
 	dune build
@@ -6,12 +6,32 @@ build:
 test:
 	dune runtest
 
-# One-stop verification: build, the full test suite (unit + property +
-# cram), and a fresh machine-readable bench run re-parsed through the
+# Source hygiene.  The build image has no ocamlformat, so the lint is
+# the closest equivalent: `dune build @check` typechecks every module
+# (including ones no executable pulls in), and a grep rejects trailing
+# whitespace and tab indentation in OCaml sources.
+lint:
+	dune build @check
+	@if grep -rnI --include='*.ml' --include='*.mli' -e ' $$' -e '	' \
+	  lib bin test examples bench tools; then \
+	  echo "lint: trailing whitespace / tab indentation found"; exit 1; \
+	else echo "lint: clean"; fi
+
+# The session/mutation cram tests, re-run even when dune's cache is
+# warm: these pin the CLI surface of stable link ids (stale-id updates
+# are script errors) and the warm-replan output format.
+cram:
+	dune test --force test/cli.t
+
+# One-stop verification: lint, build, the full test suite (unit +
+# property + cram), an explicit uncached run of the session/mutation
+# cram, and a fresh machine-readable bench run re-parsed through the
 # JSON schema checker and diffed against the checked-in baseline.
 check:
+	$(MAKE) lint
 	dune build
 	dune runtest
+	$(MAKE) cram
 	$(MAKE) bench-gate
 
 # Regression gate: rerun the tracked scenarios and fail if any gated

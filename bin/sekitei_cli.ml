@@ -370,8 +370,10 @@ exception Script_error of int * string
      update remove-link <link>
      update fail-node <node>
    Blank lines and `#` comments are skipped.  Node and link operands are
-   integer ids in the session's *current* topology (removals renumber the
-   surviving links densely, exactly as the library's Mutate does). *)
+   stable integer ids: removals tombstone a link without renumbering the
+   survivors, so an id printed by `plan`/`audit` output stays valid for
+   the rest of the script.  Naming a removed link or a never-issued id
+   is reported as a script error with the offending line. *)
 type script_cmd = Do_plan | Do_update of Session.delta
 
 let parse_script file =
@@ -496,8 +498,9 @@ let session_cmd =
                        ~leveling:doc.Dsl.leveling)
                 in
                 let plans = ref 0 and failed = ref 0 in
+                try
                 List.iter
-                  (fun (_line, cmd) ->
+                  (fun (line, cmd) ->
                     match cmd with
                     | Do_plan ->
                         incr plans;
@@ -521,14 +524,33 @@ let session_cmd =
                               !plans temperature Session.pp_failure reason
                               s.Session.invalidated_actions
                               s.Session.evicted_entries)
-                    | Do_update delta ->
-                        ignore (Session.update session delta);
-                        Format.printf "update %s: ok (%d nodes, %d links)@."
-                          (render_delta delta)
-                          (Topology.node_count (Session.topology session))
-                          (Topology.link_count (Session.topology session)))
+                    | Do_update delta -> (
+                        match Session.update session delta with
+                        | (_ : Session.t) ->
+                            Format.printf
+                              "update %s: ok (%d nodes, %d links)@."
+                              (render_delta delta)
+                              (Topology.node_count (Session.topology session))
+                              (Topology.link_count (Session.topology session))
+                        | exception Topology.Stale_link l ->
+                            raise
+                              (Script_error
+                                 ( line,
+                                   Printf.sprintf
+                                     "update %s: link %d was removed by an \
+                                      earlier update"
+                                     (render_delta delta) l ))
+                        | exception Invalid_argument msg ->
+                            raise
+                              (Script_error
+                                 ( line,
+                                   Printf.sprintf "update %s: %s"
+                                     (render_delta delta) msg ))))
                   cmds;
-                if !failed = 0 then 0 else 1))
+                if !failed = 0 then 0 else 1
+                with Script_error (line, msg) ->
+                  Format.eprintf "%s:%d: %s@." script line msg;
+                  2))
   in
   Cmd.v
     (Cmd.info "session"

@@ -23,10 +23,11 @@ module Redeploy = Sekitei_core.Redeploy
 
 module Mutate = Sekitei_network.Mutate
 
-(* Iterating the original topology's link ids while folding mutations is
-   safe here because set_link_resource never renumbers; after a
-   remove_link or fail_node the held ids would be stale (translate them
-   with Mutate.renumber_map). *)
+(* Link ids are stable across every Mutate operation, so iterating the
+   original topology's ids while folding mutations is always safe — even
+   across remove_link/fail_node, where a held id either still denotes
+   the same physical link or raises Topology.Stale_link instead of
+   silently aliasing a neighbor. *)
 let degrade_wan topo new_bw =
   Array.fold_left
     (fun acc (l : Topology.link) ->

@@ -491,20 +491,7 @@ let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
               match
                 reuse.reuse_cross ~iface:i ~link_id:l.Topology.link_id ~src ~dst
               with
-              | Some olds ->
-                  List.iter
-                    (fun (a : Action.t) ->
-                      (* The surviving link may have been renumbered; the
-                         copy carries the new id. *)
-                      let kind =
-                        match a.Action.kind with
-                        | Action.Cross { iface; src; dst; _ } ->
-                            Action.Cross
-                              { iface; link = l.Topology.link_id; src; dst }
-                        | Action.Place _ -> assert false
-                      in
-                      emit_copy { a with Action.kind })
-                    olds
+              | Some olds -> List.iter emit_copy olds
               | None ->
               List.iter
                 (fun (in_lvl, in_ivl) ->
@@ -700,9 +687,13 @@ let compile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
 
 (* Incremental recompilation after a topology delta.  The old problem's
    actions are indexed by grounding group — (comp, node) for placements,
-   (iface, old link id, src, dst) for crossings — and groups whose site
-   the delta did not touch are copied instead of re-grounded.  A copied
-   group is exactly what fresh grounding would produce: placement groups
+   (iface, link id, src, dst) for crossings — and groups whose site the
+   delta did not touch are copied instead of re-grounded.  Link ids are
+   stable across every Mutate operation, so the crossing key needs no
+   translation: a surviving link's group is found under the same id it
+   always had, and a tombstoned link's group is simply never asked for
+   (the new topology's live view no longer contains it).  A copied group
+   is exactly what fresh grounding would produce: placement groups
    depend only on their node's capacities, crossing groups only on their
    link's capacities and the endpoint names, all unchanged at untouched
    sites (and [adjust] must be the same function that compiled [old] —
@@ -711,7 +702,7 @@ let compile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
    result is structurally identical to a cold [compile] of the mutated
    topology, just cheaper. *)
 let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
-    ?(deadline = Deadline.none) ~(old : Problem.t) ~old_link_of ~node_touched
+    ?(deadline = Deadline.none) ~(old : Problem.t) ~node_touched
     ~link_touched topo app leveling =
   let place_groups = Hashtbl.create 256 in
   let cross_groups = Hashtbl.create 256 in
@@ -748,12 +739,9 @@ let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
           if link_touched link_id || node_touched src || node_touched dst then
             None
           else
-            match old_link_of link_id with
-            | None -> None
-            | Some ol -> (
-                match Hashtbl.find_opt cross_groups (iface, ol, src, dst) with
-                | Some olds -> serve olds
-                | None -> None));
+            match Hashtbl.find_opt cross_groups (iface, link_id, src, dst) with
+            | Some olds -> serve olds
+            | None -> None);
     }
   in
   let pb = compile_with ~adjust ~telemetry ~deadline ~reuse topo app leveling in

@@ -44,20 +44,20 @@ val compile :
   Sekitei_spec.Leveling.t ->
   Problem.t
 
-(** [recompile ~old ~old_link_of ~node_touched ~link_touched topo app
-    leveling] recompiles after a topology delta, reusing the grounding
-    work of [old] (a problem compiled from the {e same} [app], [leveling]
-    and [adjust] against the pre-delta topology).  Grounding groups —
-    per (component, node) and per (interface, link, direction) — whose
-    site the delta did not touch are copied from [old] with freshly
-    assigned act_ids; touched groups are re-grounded against the new
-    capacities.  [old_link_of] maps a post-delta link id back to the
-    pre-delta id of the same physical link ([None] for links with no
-    pre-delta counterpart; see {!Sekitei_network.Mutate.renumber_map}),
-    and [node_touched] / [link_touched] receive node indices and
-    {e post-delta} link ids.  The node set must be unchanged (deltas may
-    zero a node's resources but never remove the node), which keeps the
-    proposition id space stable.
+(** [recompile ~old ~node_touched ~link_touched topo app leveling]
+    recompiles after a topology delta, reusing the grounding work of
+    [old] (a problem compiled from the {e same} [app], [leveling] and
+    [adjust] against the pre-delta topology).  Grounding groups — per
+    (component, node) and per (interface, link, direction) — whose site
+    the delta did not touch are copied from [old] with freshly assigned
+    act_ids; touched groups are re-grounded against the new capacities.
+    Link ids are stable across every {!Sekitei_network.Mutate}
+    operation, so crossing groups are matched between [old] and the new
+    topology by their link id directly; removed (tombstoned) links
+    simply have no group on the new side.  [node_touched] /
+    [link_touched] receive node indices and stable link ids.  The node
+    set must be unchanged (deltas may zero a node's resources but never
+    remove the node), which keeps the proposition id space stable.
 
     Returns the new problem — structurally identical to a cold
     {!compile} of the mutated topology — and the number of [old] actions
@@ -68,7 +68,6 @@ val recompile :
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
   ?deadline:Sekitei_util.Deadline.t ->
   old:Problem.t ->
-  old_link_of:(int -> int option) ->
   node_touched:(int -> bool) ->
   link_touched:(int -> bool) ->
   Sekitei_network.Topology.t ->

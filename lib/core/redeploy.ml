@@ -1,11 +1,10 @@
-(* Stale-id audit (link renumbering): Mutate.remove_link / fail_node
-   renumber the surviving links densely, so any identifier held across
-   such a mutation must go through Mutate.renumber_map.  This module is
-   safe by construction: the [previous] deployment and the computed
-   [diff] speak only in component names and *node* ids, which are stable
-   across every Mutate operation — no link id is ever stored here.
-   Callers replanning after a removal (e.g. Session.update) own the
-   translation for any link ids *they* hold. *)
+(* Identifier hygiene: every id this module stores — component names and
+   node ids in [previous] and the computed [diff] — is stable across
+   every Mutate operation, and since link ids are now persistent too
+   (removals tombstone instead of renumbering), nothing held across a
+   replan can silently change meaning.  A caller that does store link
+   ids gets Topology.Stale_link on a removed one instead of a wrong
+   neighbor. *)
 
 type policy = { keep_discount : float; migrate_surcharge : float }
 

@@ -647,12 +647,14 @@ let apply_delta topo = function
   | Fail_node { node } -> Mutate.fail_node topo node
 
 (* Touched sites of a delta, in terms the invalidation machinery wants:
-   node indices, removed pre-delta link ids, and touched link ids in the
-   pre- and post-delta numbering. *)
+   node indices and link ids.  Link ids are stable across every Mutate
+   operation, so one touched set speaks for both the pre- and post-delta
+   problem — a tombstoned link's id still names it in the old problem's
+   actions, and never occurs in the new one. *)
 let touched_of old_topo = function
-  | Set_node_resource { node; _ } -> ([ node ], [], [], [])
-  | Set_link_resource { link; _ } -> ([], [], [ link ], [ link ])
-  | Remove_link { link } -> ([], [ link ], [ link ], [])
+  | Set_node_resource { node; _ } -> ([ node ], [])
+  | Set_link_resource { link; _ } -> ([], [ link ])
+  | Remove_link { link } -> ([], [ link ])
   | Fail_node { node } ->
       let incident =
         Array.to_list (Topology.links old_topo)
@@ -660,7 +662,7 @@ let touched_of old_topo = function
                let a, b = l.Topology.ends in
                if a = node || b = node then Some l.Topology.link_id else None)
       in
-      ([ node ], incident, incident, [])
+      ([ node ], incident)
 
 let update t delta =
   let old_topo = t.topo in
@@ -669,29 +671,16 @@ let update t delta =
   (match t.state with
   | None -> ()  (* nothing compiled yet; the next plan starts cold *)
   | Some st -> (
-      let touched_nodes, removed_links, old_links, new_links =
-        touched_of old_topo delta
-      in
+      let touched_nodes, touched_links = touched_of old_topo delta in
       let node_touched n = List.mem n touched_nodes in
-      let old_link_touched l = List.mem l old_links in
-      let new_link_touched l = List.mem l new_links in
-      let old_link_of =
-        let old_n = Array.length (Topology.links old_topo) in
-        let fwd = Mutate.renumber_map ~removed:removed_links ~link_count:old_n in
-        let inv = Array.make (Array.length (Topology.links new_topo)) None in
-        for ol = 0 to old_n - 1 do
-          match fwd ol with Some nl -> inv.(nl) <- Some ol | None -> ()
-        done;
-        fun nl -> if nl >= 0 && nl < Array.length inv then inv.(nl) else None
-      in
+      let link_touched l = List.mem l touched_links in
       let telemetry = t.telemetry in
       match
         let sp_compile = Telemetry.begin_span telemetry "compile" in
         let gc_compile0 = gc_snap () in
         match
-          Compile.recompile ?adjust:t.adjust ~telemetry ~old:st.pb ~old_link_of
-            ~node_touched ~link_touched:new_link_touched new_topo t.app
-            t.leveling
+          Compile.recompile ?adjust:t.adjust ~telemetry ~old:st.pb
+            ~node_touched ~link_touched new_topo t.app t.leveling
         with
         | exception e ->
             ignore (Telemetry.end_span telemetry sp_compile);
@@ -728,12 +717,13 @@ let update t delta =
             let plrg_ms = Telemetry.end_span telemetry sp_plrg in
             (* Taint on both sides of the delta: the old problem catches
                chains through removed actions, the new one chains through
-               novel actions at the touched sites. *)
+               novel actions at the touched sites.  Stable ids mean the
+               same touched predicates serve both. *)
             let _, dirty_old =
-              Supports.taint st.pb ~node_touched ~link_touched:old_link_touched
+              Supports.taint st.pb ~node_touched ~link_touched
             in
             let _, dirty_new =
-              Supports.taint pb ~node_touched ~link_touched:new_link_touched
+              Supports.taint pb ~node_touched ~link_touched
             in
             let dirty p = dirty_old.(p) || dirty_new.(p) in
             let evicted =

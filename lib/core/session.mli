@@ -181,9 +181,12 @@ type report = {
 }
 
 (** A topology perturbation, mirroring {!Sekitei_network.Mutate}.  Node
-    and link ids refer to the session's {e current} topology
-    ({!topology}); [Remove_link] and [Fail_node] renumber the surviving
-    links densely, so subsequent deltas must use post-delta link ids. *)
+    and link ids are {e stable}: [Remove_link] and [Fail_node] tombstone
+    the affected link ids and never renumber survivors, so an id held
+    from before any update keeps denoting the same physical link.  A
+    delta naming a tombstoned link raises
+    {!Sekitei_network.Topology.Stale_link}; one naming a never-issued id
+    raises [Invalid_argument] (see {!update}). *)
 type delta =
   | Set_node_resource of { node : int; resource : string; value : float }
   | Set_link_resource of { link : int; resource : string; value : float }
@@ -224,7 +227,13 @@ val plan : t -> report
     full flush (next plan compiles cold) when the delta changes the
     initial proposition section — set canonicalization itself shifts —
     or when the mutated spec no longer compiles.  Returns [t] (the
-    session is updated in place). *)
+    session is updated in place).
+
+    A delta with a bad site id is rejected {e before} anything mutates:
+    {!Sekitei_network.Topology.Stale_link} for a link id tombstoned by
+    an earlier update, [Invalid_argument] for node/link ids that never
+    existed.  The session's topology and compiled state are untouched in
+    either case. *)
 val update : t -> delta -> t
 
 val pp_failure : Format.formatter -> failure_reason -> unit

@@ -28,8 +28,10 @@ val candidates : t -> int array -> int array
     through untainted actions, which are identical in the old and new
     problems.  Callers apply this to both the pre- and post-delta
     problems and take the union (a delta can both remove and create
-    grounded actions).  [link_touched] receives the problem's own link
-    ids (pre-renumbering for the old problem, post- for the new). *)
+    grounded actions).  Link ids are stable across mutations, so the
+    same [link_touched] predicate serves both problems — a tombstoned
+    link's id still names it in the old problem's actions and never
+    occurs in the new one. *)
 val taint :
   Problem.t ->
   node_touched:(int -> bool) ->

@@ -1,80 +1,29 @@
 open Topology
 
-let rebuild nodes links = make ~nodes ~links
-
-let renumber links = List.mapi (fun i l -> { l with link_id = i }) links
-
 let set_link_resource t link res v =
-  let links =
-    Array.to_list (links t)
-    |> List.map (fun l ->
-           if l.link_id = link then
-             { l with link_resources = (res, v) :: List.remove_assoc res l.link_resources }
-           else l)
-  in
-  rebuild (Array.to_list (nodes t)) links
+  if link < 0 || link >= link_id_bound t then
+    invalid_arg (Printf.sprintf "Mutate.set_link_resource: unknown link %d" link);
+  let l = get_link t link in
+  with_link_resources t link ((res, v) :: List.remove_assoc res l.link_resources)
 
 let set_node_resource t node res v =
-  let nodes =
-    Array.to_list (nodes t)
-    |> List.map (fun n ->
-           if n.node_id = node then
-             { n with node_resources = (res, v) :: List.remove_assoc res n.node_resources }
-           else n)
-  in
-  rebuild nodes (Array.to_list (links t))
+  if node < 0 || node >= node_count t then
+    invalid_arg (Printf.sprintf "Mutate.set_node_resource: unknown node %d" node);
+  let n = get_node t node in
+  with_node_resources t node ((res, v) :: List.remove_assoc res n.node_resources)
 
 let scale_links ?kind t res factor =
-  let links =
-    Array.to_list (links t)
-    |> List.map (fun l ->
-           let applies = match kind with None -> true | Some k -> l.kind = k in
-           match (applies, List.assoc_opt res l.link_resources) with
-           | true, Some v ->
-               { l with
-                 link_resources = (res, v *. factor) :: List.remove_assoc res l.link_resources }
-           | _ -> l)
-  in
-  rebuild (Array.to_list (nodes t)) links
+  map_link_resources t (fun l ->
+      let applies = match kind with None -> true | Some k -> l.kind = k in
+      match (applies, List.assoc_opt res l.link_resources) with
+      | true, Some v -> (res, v *. factor) :: List.remove_assoc res l.link_resources
+      | _ -> l.link_resources)
 
-let remove_link t link =
-  let links =
-    Array.to_list (links t) |> List.filter (fun l -> l.link_id <> link) |> renumber
-  in
-  rebuild (Array.to_list (nodes t)) links
-
-(* The old-to-new link id mapping induced by [renumber] after deleting
-   [removed]: filtering preserves order, so survivors are renumbered
-   densely in ascending old-id order. *)
-let renumber_map ~removed ~link_count =
-  let gone = Array.make (max link_count 0) false in
-  List.iter
-    (fun l -> if l >= 0 && l < link_count then gone.(l) <- true)
-    removed;
-  let map = Array.make (max link_count 0) (-1) in
-  let next = ref 0 in
-  for l = 0 to link_count - 1 do
-    if not gone.(l) then begin
-      map.(l) <- !next;
-      incr next
-    end
-  done;
-  fun l ->
-    if l < 0 || l >= link_count || map.(l) < 0 then None else Some map.(l)
+let remove_link t link = Topology.remove_link t link
 
 let fail_node t node =
-  let nodes =
-    Array.to_list (nodes t)
-    |> List.map (fun n ->
-           if n.node_id = node then
-             { n with node_resources = List.map (fun (r, _) -> (r, 0.)) n.node_resources }
-           else n)
-  in
-  let links =
-    Array.to_list (links t)
-    |> List.filter (fun l ->
-           let a, b = l.ends in
-           a <> node && b <> node)
-    |> renumber
-  in
-  rebuild nodes links
+  if node < 0 || node >= node_count t then
+    invalid_arg (Printf.sprintf "Mutate.fail_node: unknown node %d" node);
+  let n = get_node t node in
+  let zeroed = List.map (fun (r, _) -> (r, 0.)) n.node_resources in
+  mark_node_failed (with_node_resources t node zeroed) node

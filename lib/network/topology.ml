@@ -2,6 +2,13 @@ type node_id = int
 type link_id = int
 type link_kind = Lan | Wan
 
+exception Stale_link of link_id
+
+let () =
+  Printexc.register_printer (function
+    | Stale_link l -> Some (Printf.sprintf "Sekitei_network.Topology.Stale_link(%d)" l)
+    | _ -> None)
+
 type node = {
   node_id : node_id;
   node_name : string;
@@ -15,10 +22,19 @@ type link = {
   link_resources : (string * float) list;
 }
 
+(* Link ids are persistent: [link_arr] is indexed by id and keeps a slot
+   for every link the topology has ever had; [link_live] is the tombstone
+   set.  The iteration/array hot paths (grounding, replay metrics) never
+   see dead links — they run over [live_links], a dense view rebuilt once
+   per (persistent) mutation — while id-keyed lookups stay O(1) through
+   [link_arr] plus one liveness bit. *)
 type t = {
   node_arr : node array;
-  link_arr : link array;
-  adj : (node_id * link_id) list array;
+  node_live : bool array;  (** false once the node has failed *)
+  link_arr : link array;  (** indexed by stable id; includes tombstones *)
+  link_live : bool array;
+  live_links : link array;  (** dense view: live links, ascending id *)
+  adj : (node_id * link_id) list array;  (** live links only *)
 }
 
 let default_cpu = 30.
@@ -40,6 +56,26 @@ let link ?bw ?(resources = []) kind id a b =
   in
   { link_id = id; ends = (a, b); kind; link_resources = ("lbw", bw) :: resources }
 
+(* Recompute the dense live view and adjacency from the id-indexed
+   arrays; every mutation funnels through here. *)
+let of_parts ~node_arr ~node_live ~link_arr ~link_live =
+  let n = Array.length node_arr in
+  let live_links =
+    Array.to_list link_arr
+    |> List.filter (fun l -> link_live.(l.link_id))
+    |> Array.of_list
+  in
+  let adj = Array.make (max n 1) [] in
+  Array.iter
+    (fun l ->
+      let a, b = l.ends in
+      adj.(a) <- (b, l.link_id) :: adj.(a);
+      adj.(b) <- (a, l.link_id) :: adj.(b))
+    live_links;
+  (* Deterministic neighbour order: by peer id then link id. *)
+  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
+  { node_arr; node_live; link_arr; link_live; live_links; adj }
+
 let make ~nodes ~links =
   let node_arr = Array.of_list nodes in
   let n = Array.length node_arr in
@@ -60,29 +96,46 @@ let make ~nodes ~links =
         invalid_arg "Topology.make: link endpoint out of range";
       if a = b then invalid_arg "Topology.make: self-loop")
     link_arr;
-  let adj = Array.make (max n 1) [] in
-  Array.iter
-    (fun l ->
-      let a, b = l.ends in
-      adj.(a) <- (b, l.link_id) :: adj.(a);
-      adj.(b) <- (a, l.link_id) :: adj.(b))
-    link_arr;
-  (* Deterministic neighbour order: by peer id then link id. *)
-  Array.iteri (fun i l -> adj.(i) <- List.sort compare l) adj;
-  { node_arr; link_arr; adj }
+  of_parts ~node_arr
+    ~node_live:(Array.make n true)
+    ~link_arr
+    ~link_live:(Array.make (Array.length link_arr) true)
 
 let node_count t = Array.length t.node_arr
-let link_count t = Array.length t.link_arr
+let link_count t = Array.length t.live_links
+let link_id_bound t = Array.length t.link_arr
 let nodes t = t.node_arr
-let links t = t.link_arr
+let links t = t.live_links
 
 let get_node t id =
   if id < 0 || id >= node_count t then invalid_arg "Topology.get_node"
   else t.node_arr.(id)
 
+let link_is_live t id =
+  id >= 0 && id < Array.length t.link_arr && t.link_live.(id)
+
+let dead_links t =
+  let acc = ref [] in
+  for id = Array.length t.link_arr - 1 downto 0 do
+    if not t.link_live.(id) then acc := id :: !acc
+  done;
+  !acc
+
 let get_link t id =
-  if id < 0 || id >= link_count t then invalid_arg "Topology.get_link"
+  if id < 0 || id >= Array.length t.link_arr then invalid_arg "Topology.get_link"
+  else if not t.link_live.(id) then raise (Stale_link id)
   else t.link_arr.(id)
+
+let node_alive t id =
+  if id < 0 || id >= node_count t then invalid_arg "Topology.node_alive"
+  else t.node_live.(id)
+
+let failed_nodes t =
+  let acc = ref [] in
+  for id = node_count t - 1 downto 0 do
+    if not t.node_live.(id) then acc := id :: !acc
+  done;
+  !acc
 
 let adjacent t id =
   if id < 0 || id >= node_count t then invalid_arg "Topology.adjacent"
@@ -125,6 +178,59 @@ let is_connected t =
     Array.for_all Fun.id seen
   end
 
+(* ------------------------------------------------------------------ *)
+(* Identity-stable mutation primitives                                  *)
+(* ------------------------------------------------------------------ *)
+
+let with_node_resources t id resources =
+  let _ = get_node t id in
+  let node_arr = Array.copy t.node_arr in
+  node_arr.(id) <- { node_arr.(id) with node_resources = resources };
+  of_parts ~node_arr ~node_live:t.node_live ~link_arr:t.link_arr
+    ~link_live:t.link_live
+
+let with_link_resources t id resources =
+  let _ = get_link t id in
+  let link_arr = Array.copy t.link_arr in
+  link_arr.(id) <- { link_arr.(id) with link_resources = resources };
+  of_parts ~node_arr:t.node_arr ~node_live:t.node_live ~link_arr
+    ~link_live:t.link_live
+
+let map_link_resources t f =
+  let link_arr =
+    Array.mapi
+      (fun id l ->
+        if t.link_live.(id) then { l with link_resources = f l } else l)
+      t.link_arr
+  in
+  of_parts ~node_arr:t.node_arr ~node_live:t.node_live ~link_arr
+    ~link_live:t.link_live
+
+let remove_link t id =
+  let _ = get_link t id in
+  let link_live = Array.copy t.link_live in
+  link_live.(id) <- false;
+  of_parts ~node_arr:t.node_arr ~node_live:t.node_live ~link_arr:t.link_arr
+    ~link_live
+
+let mark_node_failed t id =
+  let _ = get_node t id in
+  let node_live = Array.copy t.node_live in
+  node_live.(id) <- false;
+  let link_live = Array.copy t.link_live in
+  Array.iteri
+    (fun lid l ->
+      if link_live.(lid) then begin
+        let a, b = l.ends in
+        if a = id || b = id then link_live.(lid) <- false
+      end)
+    t.link_arr;
+  of_parts ~node_arr:t.node_arr ~node_live ~link_arr:t.link_arr ~link_live
+
+(* ------------------------------------------------------------------ *)
+(* Resource names                                                       *)
+(* ------------------------------------------------------------------ *)
+
 let collect_names proj arr =
   let seen = Hashtbl.create 8 in
   let acc = ref [] in
@@ -141,4 +247,4 @@ let collect_names proj arr =
   List.rev !acc
 
 let node_resource_names t = collect_names (fun n -> n.node_resources) t.node_arr
-let link_resource_names t = collect_names (fun l -> l.link_resources) t.link_arr
+let link_resource_names t = collect_names (fun l -> l.link_resources) t.live_links

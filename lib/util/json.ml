@@ -129,18 +129,39 @@ let parse_string st =
              | 'b' -> Buffer.add_char buf '\b'
              | 'f' -> Buffer.add_char buf '\012'
              | 'u' ->
-                 if st.pos + 4 >= String.length st.src then
-                   raise (Parse_error "truncated \\u escape");
-                 let hex = String.sub st.src (st.pos + 1) 4 in
-                 let code =
-                   try int_of_string ("0x" ^ hex)
+                 let read_hex pos =
+                   if pos + 4 > String.length st.src then
+                     raise (Parse_error "truncated \\u escape");
+                   try int_of_string ("0x" ^ String.sub st.src pos 4)
                    with _ -> raise (Parse_error "bad \\u escape")
                  in
-                 (* Non-ASCII code points round-trip as '?'; the traces this
-                    parser reads only ever contain ASCII identifiers. *)
-                 Buffer.add_char buf
-                   (if code < 0x80 then Char.chr code else '?');
-                 st.pos <- st.pos + 4
+                 let code = read_hex (st.pos + 1) in
+                 st.pos <- st.pos + 4;
+                 (* Decode to UTF-8, pairing surrogates; an unpaired
+                    surrogate becomes U+FFFD (the second half of a broken
+                    pair is left in place to decode on its own). *)
+                 let uchar =
+                   if code >= 0xD800 && code <= 0xDBFF then
+                     if
+                       st.pos + 2 < String.length st.src
+                       && st.src.[st.pos + 1] = '\\'
+                       && st.src.[st.pos + 2] = 'u'
+                     then begin
+                       let low = read_hex (st.pos + 3) in
+                       if low >= 0xDC00 && low <= 0xDFFF then begin
+                         st.pos <- st.pos + 6;
+                         Uchar.of_int
+                           (0x10000
+                           + ((code - 0xD800) lsl 10)
+                           + (low - 0xDC00))
+                       end
+                       else Uchar.rep
+                     end
+                     else Uchar.rep
+                   else if code >= 0xDC00 && code <= 0xDFFF then Uchar.rep
+                   else Uchar.of_int code
+                 in
+                 Buffer.add_utf_8_uchar buf uchar
              | c -> raise (Parse_error (Printf.sprintf "bad escape '\\%c'" c)));
           st.pos <- st.pos + 1;
           go ()

@@ -3,8 +3,10 @@
     The build environment has no JSON library, so the telemetry JSONL
     sink, the benchmark record emitter, and the trace-report tool share
     this module instead of each hand-rolling Printf emission.  The writer
-    emits compact one-line documents; the parser accepts standard JSON
-    (ASCII strings; [\uXXXX] escapes above 0x7F collapse to ['?']). *)
+    emits compact one-line documents, passing UTF-8 string bytes through
+    verbatim; the parser decodes [\uXXXX] escapes to UTF-8, combining
+    surrogate pairs into the supplementary code point and replacing an
+    unpaired surrogate with U+FFFD. *)
 
 type t =
   | Null

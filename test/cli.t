@@ -54,8 +54,9 @@ report the invalidation work of intervening updates:
   update set-link 1 lbw 12: ok (3 nodes, 2 links)
   plan 3 (warm): cost 9.6 (4 actions), invalidated=8 evicted=11
 
-Removing the only route renumbers the surviving links and makes the next
-plan fail with a non-zero exit:
+Removing the only route makes the next plan fail with a non-zero exit.
+Link ids are stable: the surviving link keeps id 0, and the removed id 1
+is never reused:
 
   $ cat > fail.script <<'EOF'
   > plan
@@ -67,6 +68,29 @@ plan fail with a non-zero exit:
   update remove-link 1: ok (3 nodes, 1 links)
   plan 2 (warm): no plan: goal logically unreachable (placed(Viewer,tv)), invalidated=8 evicted=11
   [1]
+
+An update naming a removed link is rejected as a script error — the id
+is stale, not silently forwarded to a neighbor:
+
+  $ cat > stale.script <<'EOF'
+  > plan
+  > update remove-link 1
+  > update set-link 1 lbw 50
+  > EOF
+  $ sekitei session --spec spec.file stale.script
+  plan 1 (cold): cost 9.6 (4 actions), invalidated=0 evicted=0
+  update remove-link 1: ok (3 nodes, 1 links)
+  stale.script:3: update set-link 1 lbw 50: link 1 was removed by an earlier update
+  [2]
+
+So is one naming an id the topology never issued:
+
+  $ cat > unknown.script <<'EOF'
+  > update set-link 9 lbw 50
+  > EOF
+  $ sekitei session --spec spec.file unknown.script
+  unknown.script:1: update set-link 9 lbw 50: Mutate.set_link_resource: unknown link 9
+  [2]
 
 Script errors name the offending line and exit 2:
 

@@ -84,6 +84,48 @@ let test_resource_names () =
   Alcotest.(check (list string)) "node resources" [ "cpu"; "mem" ]
     (List.sort compare (T.node_resource_names t))
 
+(* ---------------- stable identities ---------------- *)
+
+(* Every id-keyed accessor must raise Stale_link on a tombstoned id —
+   never answer with a surviving neighbor's data. *)
+let test_stale_link_accessors () =
+  let t = Sekitei_network.Mutate.remove_link (small_topo ()) 0 in
+  let stale f = Alcotest.check_raises "stale" (T.Stale_link 0) f in
+  stale (fun () -> ignore (T.get_link t 0));
+  stale (fun () -> ignore (T.link_resource t 0 "lbw"));
+  stale (fun () -> ignore (T.peer t 0 0));
+  stale (fun () -> ignore (T.with_link_resources t 0 []));
+  (* dead links vanish from iteration and queries without renumbering *)
+  Alcotest.(check int) "live count" 1 (T.link_count t);
+  Alcotest.(check int) "id space keeps the slot" 2 (T.link_id_bound t);
+  Alcotest.(check bool) "find_link skips dead" true (T.find_link t 0 1 = None);
+  Alcotest.(check (list (pair int int))) "adjacency skips dead" [ (2, 1) ]
+    (T.adjacent t 1);
+  Alcotest.(check bool) "survivor keeps id" true (T.link_is_live t 1);
+  Alcotest.(check (pair int int)) "survivor same ends" (1, 2)
+    (T.get_link t 1).T.ends;
+  (* out-of-range is a usage error, not staleness *)
+  Alcotest.check_raises "out of range" (Invalid_argument "Topology.get_link")
+    (fun () -> ignore (T.get_link t 5));
+  Alcotest.(check bool) "out of range not live" false (T.link_is_live t 5);
+  Alcotest.(check bool) "negative not live" false (T.link_is_live t (-1))
+
+let test_node_liveness () =
+  let t = small_topo () in
+  Alcotest.(check bool) "fresh nodes alive" true
+    (List.for_all (T.node_alive t) [ 0; 1; 2 ]);
+  Alcotest.(check (list int)) "no failures" [] (T.failed_nodes t);
+  Alcotest.(check (list int)) "no dead links" [] (T.dead_links t);
+  let t' = Sekitei_network.Mutate.fail_node t 1 in
+  Alcotest.(check bool) "failed node dead" false (T.node_alive t' 1);
+  Alcotest.(check (list int)) "failure recorded" [ 1 ] (T.failed_nodes t');
+  Alcotest.(check (list int)) "incident links tombstoned" [ 0; 1 ]
+    (T.dead_links t');
+  Alcotest.(check int) "node count unchanged" 3 (T.node_count t');
+  Alcotest.check_raises "node_alive out of range"
+    (Invalid_argument "Topology.node_alive") (fun () ->
+      ignore (T.node_alive t' 9))
+
 (* ---------------- generators ---------------- *)
 
 let test_line () =
@@ -251,6 +293,8 @@ let suite =
     ("invalid construction", `Quick, test_invalid_construction);
     ("connectivity", `Quick, test_connectivity);
     ("resource names", `Quick, test_resource_names);
+    ("stale link accessors", `Quick, test_stale_link_accessors);
+    ("node liveness", `Quick, test_node_liveness);
     ("gen line", `Quick, test_line);
     ("gen line kinds", `Quick, test_line_kinds);
     ("gen ring", `Quick, test_ring);

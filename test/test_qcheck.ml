@@ -556,6 +556,194 @@ let prop_warm_equals_cold =
       | Error r1, Error r2 -> r1 = r2
       | _ -> false)
 
+(* ---------------- stable link identities ---------------- *)
+
+(* The tentpole contract, pure topology level: across ANY sequence of
+   mutations, a link id either still denotes the same physical link
+   (same endpoints, same kind) or raises Stale_link from every id-keyed
+   accessor — it never aliases a surviving neighbor, the failure mode of
+   the old dense renumbering.  The id space and node count never shrink,
+   the dense iteration view is exactly the live ids in ascending order,
+   and no live link touches a failed node. *)
+let prop_link_identity_stable =
+  let arb =
+    Q.pair (Q.int_range 0 3)
+      (Q.list_of_size (Q.Gen.int_range 1 8)
+         (Q.triple (Q.int_range 0 3) Q.small_nat (Q.float_range 1. 200.)))
+  in
+  Q.Test.make ~count:600
+    ~name:"link ids denote the same physical link forever" arb
+    (fun (shape, deltas) ->
+      let module Mutate = Sekitei_network.Mutate in
+      let t0 =
+        match shape with
+        | 0 -> G.line 5
+        | 1 -> G.ring 6
+        | 2 -> G.grid 3 3
+        | _ -> G.star 4
+      in
+      let pick_live t site =
+        let live = T.links t in
+        if Array.length live = 0 then None
+        else Some (live.(site mod Array.length live)).T.link_id
+      in
+      let apply t (op, site, v) =
+        match op with
+        | 0 -> (
+            match pick_live t site with
+            | None -> t
+            | Some id -> Mutate.set_link_resource t id "lbw" v)
+        | 1 -> Mutate.set_node_resource t (site mod T.node_count t) "cpu" v
+        | 2 -> (
+            match pick_live t site with
+            | None -> t
+            | Some id -> Mutate.remove_link t id)
+        | _ -> (
+            let alive =
+              List.filter (T.node_alive t)
+                (List.init (T.node_count t) Fun.id)
+            in
+            match alive with
+            | [] -> t
+            | _ -> Mutate.fail_node t (List.nth alive (site mod List.length alive)))
+      in
+      let t = List.fold_left apply t0 deltas in
+      let ids = List.init (T.link_id_bound t) Fun.id in
+      T.node_count t = T.node_count t0
+      && T.link_id_bound t = T.link_id_bound t0
+      && List.for_all
+           (fun id ->
+             if T.link_is_live t id then
+               let l = T.get_link t id and o = T.get_link t0 id in
+               l.T.ends = o.T.ends && l.T.kind = o.T.kind
+             else
+               (match T.get_link t id with
+               | _ -> false
+               | exception T.Stale_link i -> i = id)
+               && (match T.link_resource t id "lbw" with
+                  | _ -> false
+                  | exception T.Stale_link _ -> true)
+               && (match T.peer t id 0 with
+                  | _ -> false
+                  | exception T.Stale_link _ -> true))
+           ids
+      && Array.to_list (Array.map (fun l -> l.T.link_id) (T.links t))
+         = List.filter (T.link_is_live t) ids
+      && Array.for_all
+           (fun (l : T.link) ->
+             let a, b = l.T.ends in
+             T.node_alive t a && T.node_alive t b)
+           (T.links t))
+
+(* The same contract observed end to end through the planner: after
+   random delta sequences (including removals and node failures), the
+   warm re-plan still agrees with a cold plan, and every link id the
+   plan or its audit report exposes is live in the current topology and
+   denotes exactly the link the Cross action claims to traverse. *)
+let prop_plan_ids_stable =
+  let diamond () =
+    let topo =
+      T.make
+        ~nodes:
+          (List.init 4 (fun i -> T.node ~cpu:30. i (Printf.sprintf "n%d" i)))
+        ~links:
+          [
+            T.link ~bw:150. T.Lan 0 0 1;
+            T.link ~bw:150. T.Lan 1 1 3;
+            T.link ~bw:150. T.Lan 2 0 2;
+            T.link ~bw:150. T.Lan 3 2 3;
+          ]
+    in
+    let app = Media.app ~server:0 ~client:3 () in
+    (topo, app, Media.leveling Media.C app)
+  in
+  let arb =
+    Q.list_of_size (Q.Gen.int_range 1 3)
+      (Q.triple (Q.int_range 0 3) Q.small_nat (Q.float_range 40. 160.))
+  in
+  Q.Test.make ~count:20 ~name:"plan/audit link ids stay valid across deltas"
+    arb
+    (fun deltas ->
+      let module Session = Planner.Session in
+      let module Action = Sekitei_core.Action in
+      let module Audit = Sekitei_core.Audit in
+      let topo, app, leveling = diamond () in
+      let config =
+        {
+          Planner.default_config with
+          Planner.rg_max_expansions = 5_000;
+          slrg_query_budget = 1_000_000;
+        }
+      in
+      let session = Session.create (Planner.request ~config topo app ~leveling) in
+      ignore (Session.plan session);
+      List.iter
+        (fun (op, site, v) ->
+          let t = Session.topology session in
+          let live = T.links t in
+          let live_id () = (live.(site mod Array.length live)).T.link_id in
+          let delta =
+            match op with
+            | 0 when Array.length live > 0 ->
+                Some
+                  (Session.Set_link_resource
+                     { link = live_id (); resource = "lbw"; value = v })
+            | 1 ->
+                Some
+                  (Session.Set_node_resource
+                     { node = site mod 4; resource = "cpu"; value = v })
+            | 2 when Array.length live > 1 ->
+                Some (Session.Remove_link { link = live_id () })
+            | _ -> (
+                (* only fail relay nodes, keeping the app's endpoints *)
+                match List.filter (T.node_alive t) [ 1; 2 ] with
+                | [] -> None
+                | cand ->
+                    Some
+                      (Session.Fail_node
+                         { node = List.nth cand (site mod List.length cand) }))
+          in
+          Option.iter (fun d -> ignore (Session.update session d)) delta)
+        deltas;
+      let warm = Session.plan session in
+      let cur = Session.topology session in
+      let cold = Planner.plan (Planner.request ~config cur app ~leveling) in
+      let closef a b = Float.abs (a -. b) <= 1e-6 in
+      let same_outcome =
+        match (warm.Planner.result, cold.Planner.result) with
+        | Ok p1, Ok p2 -> closef p1.Plan.cost_lb p2.Plan.cost_lb
+        | ( Error (Planner.Search_limit { best_f = f1; _ }),
+            Error (Planner.Search_limit { best_f = f2; _ }) ) ->
+            closef f1 f2
+        | Error r1, Error r2 -> r1 = r2
+        | _ -> false
+      in
+      same_outcome
+      &&
+      match warm.Planner.result with
+      | Error _ -> true
+      | Ok p ->
+          List.for_all
+            (fun (a : Action.t) ->
+              match a.Action.kind with
+              | Action.Place { node; _ } -> T.node_alive cur node
+              | Action.Cross { link; src; dst; _ } ->
+                  T.link_is_live cur link
+                  && (let l = T.get_link cur link in
+                      l.T.ends = (src, dst) || l.T.ends = (dst, src))
+                  && T.node_alive cur src && T.node_alive cur dst)
+            p.Plan.steps
+          &&
+          let pb = Compile.compile cur app leveling in
+          (match Audit.of_plan pb p with
+          | Error _ -> false
+          | Ok a ->
+              List.for_all
+                (fun (r : Audit.link_row) ->
+                  T.link_is_live cur r.Audit.link
+                  && (T.get_link cur r.Audit.link).T.kind = r.Audit.kind)
+                a.Audit.links))
+
 (* ---------------- leveling propagation property ---------------- *)
 
 let prop_propagation_wellformed =
@@ -603,5 +791,7 @@ let suite =
       prop_slrg_harvest_agrees;
       prop_defer_identical;
       prop_warm_equals_cold;
+      prop_link_identity_stable;
+      prop_plan_ids_stable;
       prop_propagation_wellformed;
     ]

@@ -115,12 +115,13 @@ let test_update_to_infeasible_and_back () =
           { link = 2; resource = "lbw"; value = original }));
   close "recovered cost" cost0 (cost_of "recovered" (Session.plan session))
 
-(* ---------------- remove-link renumbering ---------------- *)
+(* ---------------- remove-link identity stability ---------------- *)
 
 (* A diamond: two equal-cost server->client routes.  Removing one leg
-   renumbers the surviving links; the session must keep planning against
-   the renumbered topology exactly as a cold run does (the historical
-   bug class: grounded Cross actions still naming pre-delta link ids). *)
+   tombstones it while the survivors keep their ids; the session must
+   keep planning against the mutated topology exactly as a cold run does
+   (the historical bug class: grounded Cross actions naming stale link
+   ids after a dense renumbering — now impossible by construction). *)
 let diamond () =
   let topo =
     T.make
@@ -152,15 +153,50 @@ let test_remove_link_replan () =
     (cost_of "warm" warm);
   Alcotest.(check bool) "one-route cost >= two-route cost" true
     (cost_of "warm" warm >= cost0 -. 1e-6);
-  (* Subsequent deltas speak post-removal ids: starving surviving link 1
-     (n1->n3, renumbered from nothing — it kept its id) must now kill the
-     only remaining route. *)
+  (* Link ids are stable: surviving link 1 (n1->n3) keeps its id after
+     the removal, so starving it must now kill the only remaining
+     route. *)
   ignore
     (Session.update session
        (Session.Set_link_resource { link = 1; resource = "lbw"; value = 1. }));
   match (Session.plan session).Planner.result with
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "no route should survive"
+
+(* A delta naming a bad site id must be rejected before anything
+   mutates: Stale_link for tombstoned links, Invalid_argument for ids
+   that never existed — and the session must stay consistent and
+   replannable on its previous topology. *)
+let test_update_rejects_bad_ids () =
+  let topo, app, leveling = diamond () in
+  let session = Session.create (Planner.request topo app ~leveling) in
+  ignore (Session.plan session);
+  Alcotest.check_raises "never-issued link id"
+    (Invalid_argument "Mutate.set_link_resource: unknown link 4") (fun () ->
+      ignore
+        (Session.update session
+           (Session.Set_link_resource
+              { link = 4; resource = "lbw"; value = 1. })));
+  Alcotest.check_raises "never-issued node id"
+    (Invalid_argument "Mutate.fail_node: unknown node 99") (fun () ->
+      ignore (Session.update session (Session.Fail_node { node = 99 })));
+  ignore (Session.update session (Session.Remove_link { link = 3 }));
+  Alcotest.check_raises "tombstoned link id" (T.Stale_link 3) (fun () ->
+      ignore
+        (Session.update session
+           (Session.Set_link_resource
+              { link = 3; resource = "lbw"; value = 1. })));
+  Alcotest.check_raises "double removal" (T.Stale_link 3) (fun () ->
+      ignore (Session.update session (Session.Remove_link { link = 3 })));
+  (* rejected deltas left the session consistent: it still plans, and
+     agrees with a cold run of its current (post-removal) topology *)
+  let warm = Session.plan session in
+  let cold =
+    Planner.plan (Planner.request (Session.topology session) app ~leveling)
+  in
+  close "still warm == cold" (cost_of "cold" cold) (cost_of "warm" warm);
+  Alcotest.(check bool) "the valid removal did apply" false
+    (T.link_is_live (Session.topology session) 3)
 
 let test_fail_node_replan () =
   let topo, app, leveling = diamond () in
@@ -190,7 +226,6 @@ let test_recompile_equals_cold_compile () =
   let topo' = Mutate.set_link_resource sc.Scenarios.topo 2 "lbw" 66. in
   let pb, invalidated =
     Compile.recompile ~old
-      ~old_link_of:(fun l -> Some l)
       ~node_touched:(fun _ -> false)
       ~link_touched:(fun l -> l = 2)
       topo' sc.Scenarios.app leveling
@@ -273,6 +308,7 @@ let suite =
     ("update then warm == cold", `Quick, test_update_then_warm_equals_cold);
     ("infeasible and back", `Quick, test_update_to_infeasible_and_back);
     ("remove link, replan", `Quick, test_remove_link_replan);
+    ("update rejects bad ids", `Quick, test_update_rejects_bad_ids);
     ("fail node, replan", `Quick, test_fail_node_replan);
     ("recompile == cold compile", `Quick, test_recompile_equals_cold_compile);
     ("deadline in compile", `Quick, test_deadline_compile_phase);

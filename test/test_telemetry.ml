@@ -149,6 +149,35 @@ let test_json_parser () =
   | Ok _ -> Alcotest.fail "garbage accepted"
   | Error _ -> ()
 
+let test_json_unicode () =
+  let parse_str s =
+    match Json.of_string s with
+    | Ok (Json.Str v) -> v
+    | Ok j -> Alcotest.failf "not a string: %s" (Json.to_string j)
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  (* BMP escape decodes to real UTF-8 (not '?') *)
+  Alcotest.(check string) "latin-1 escape" "caf\xc3\xa9"
+    (parse_str "\"caf\\u00e9\"");
+  Alcotest.(check string) "CJK escape" "\xe6\xbc\xa2" (parse_str "\"\\u6f22\"");
+  (* surrogate pair combines into one supplementary code point (U+1F600) *)
+  Alcotest.(check string) "surrogate pair" "\xf0\x9f\x98\x80"
+    (parse_str "\"\\ud83d\\ude00\"");
+  (* unpaired surrogates become U+FFFD, never a mangled byte *)
+  Alcotest.(check string) "lone high surrogate" "\xef\xbf\xbdx"
+    (parse_str "\"\\ud83dx\"");
+  Alcotest.(check string) "lone low surrogate" "\xef\xbf\xbd"
+    (parse_str "\"\\ude00\"");
+  (* raw UTF-8 written by the emitter survives a round trip *)
+  let s = "na\xc3\xafve \xe6\xbc\xa2\xf0\x9f\x98\x80" in
+  (match Json.of_string (Json.to_string (Json.Str s)) with
+  | Ok (Json.Str v) -> Alcotest.(check string) "round trip" s v
+  | Ok j -> Alcotest.failf "unexpected parse: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  match Json.of_string "\"\\ud83d\\uqqqq\"" with
+  | Ok _ -> Alcotest.fail "bad hex accepted"
+  | Error _ -> ()
+
 (* ---------------- planner integration ---------------- *)
 
 (* A traced run must emit a well-formed phase tree: plan at the root,
@@ -248,6 +277,7 @@ let suite =
     Alcotest.test_case "null handle inert" `Quick test_null_is_inert;
     Alcotest.test_case "event json roundtrip" `Quick test_event_json_roundtrip;
     Alcotest.test_case "json parser" `Quick test_json_parser;
+    Alcotest.test_case "json unicode" `Quick test_json_unicode;
     Alcotest.test_case "planner span tree" `Quick test_planner_span_tree;
     Alcotest.test_case "null report phases" `Quick test_null_report_phases;
   ]

@@ -42,17 +42,52 @@ let test_remove_link () =
   let t' = Mutate.remove_link t 1 in
   Alcotest.(check int) "one fewer" 2 (T.link_count t');
   Alcotest.(check bool) "now disconnected" false (T.is_connected t');
-  (* remaining links renumbered densely *)
-  Array.iteri
-    (fun i l -> Alcotest.(check int) "dense ids" i l.T.link_id)
-    (T.links t')
+  (* survivors keep their original (stable) ids *)
+  Alcotest.(check (list int)) "stable ids" [ 0; 2 ]
+    (Array.to_list (Array.map (fun l -> l.T.link_id) (T.links t')));
+  Alcotest.(check int) "id space unchanged" 3 (T.link_id_bound t');
+  Alcotest.(check (list int)) "tombstone recorded" [ 1 ] (T.dead_links t');
+  Alcotest.(check bool) "liveness bit" false (T.link_is_live t' 1);
+  Alcotest.check_raises "get_link on dead id" (T.Stale_link 1) (fun () ->
+      ignore (T.get_link t' 1));
+  (* survivor 2 still denotes the same physical link n2-n3 *)
+  let l2 = T.get_link t' 2 in
+  Alcotest.(check (pair int int)) "same endpoints" (2, 3) l2.T.ends
 
 let test_fail_node () =
   let t = G.star 3 in
   let t' = Mutate.fail_node t 0 in
   Alcotest.(check (float 0.)) "cpu zeroed" 0. (T.node_resource t' 0 "cpu");
   Alcotest.(check int) "links gone" 0 (T.link_count t');
-  Alcotest.(check int) "nodes stay" 4 (T.node_count t')
+  Alcotest.(check int) "nodes stay" 4 (T.node_count t');
+  Alcotest.(check bool) "hub marked dead" false (T.node_alive t' 0);
+  Alcotest.(check bool) "spokes alive" true (T.node_alive t' 1);
+  Alcotest.(check (list int)) "failure recorded" [ 0 ] (T.failed_nodes t');
+  (* incident links are tombstoned, not renumbered away *)
+  Alcotest.(check int) "id space unchanged" 3 (T.link_id_bound t');
+  Alcotest.check_raises "incident link stale" (T.Stale_link 0) (fun () ->
+      ignore (T.get_link t' 0))
+
+let test_mutate_rejects_bad_ids () =
+  let t = G.line 3 in
+  Alcotest.check_raises "set_link_resource unknown id"
+    (Invalid_argument "Mutate.set_link_resource: unknown link 9") (fun () ->
+      ignore (Mutate.set_link_resource t 9 "lbw" 1.));
+  Alcotest.check_raises "set_node_resource unknown id"
+    (Invalid_argument "Mutate.set_node_resource: unknown node 7") (fun () ->
+      ignore (Mutate.set_node_resource t 7 "cpu" 1.));
+  Alcotest.check_raises "remove_link unknown id"
+    (Invalid_argument "Topology.get_link") (fun () ->
+      ignore (Mutate.remove_link t 9));
+  Alcotest.check_raises "fail_node unknown id"
+    (Invalid_argument "Mutate.fail_node: unknown node 7") (fun () ->
+      ignore (Mutate.fail_node t 7));
+  (* a tombstoned link is Stale, not unknown *)
+  let t' = Mutate.remove_link t 0 in
+  Alcotest.check_raises "set on removed link" (T.Stale_link 0) (fun () ->
+      ignore (Mutate.set_link_resource t' 0 "lbw" 1.));
+  Alcotest.check_raises "double removal" (T.Stale_link 0) (fun () ->
+      ignore (Mutate.remove_link t' 0))
 
 let test_mutation_replans () =
   (* End to end: degrade the tiny WAN link below the split streams' need
@@ -198,6 +233,7 @@ let suite =
     ("mutate: scale links", `Quick, test_scale_links);
     ("mutate: remove link", `Quick, test_remove_link);
     ("mutate: fail node", `Quick, test_fail_node);
+    ("mutate: rejects bad ids", `Quick, test_mutate_rejects_bad_ids);
     ("mutate: degraded network replans", `Quick, test_mutation_replans);
     ("audit: tables", `Quick, test_audit_tables);
     ("audit: rejects invalid", `Quick, test_audit_rejects_invalid);
