@@ -1,4 +1,4 @@
-.PHONY: build test lint cram check bench bench-json bench-gate profile clean
+.PHONY: build test lint cram check bench bench-json bench-gate metrics-smoke profile clean
 
 build:
 	dune build
@@ -32,6 +32,7 @@ check:
 	dune build
 	dune runtest
 	$(MAKE) cram
+	$(MAKE) metrics-smoke
 	$(MAKE) bench-gate
 
 # Regression gate: rerun the tracked scenarios and fail if any gated
@@ -47,6 +48,28 @@ bench-gate:
 	  --out /tmp/sekitei_bench_gate.json \
 	  --baseline BENCH_rg.json --max-regress 200
 
+# Observability smoke: plan Small-C through the metrics subcommand and
+# schema-validate both exposition formats (--check exits 3 on a schema
+# violation), then force a deadline failure with the flight recorder
+# armed and assert the dump is written and readable.  Guards the
+# always-on metrics path end to end: an encoder change that would break
+# a scraper or the postmortem tooling fails here, not on a dashboard.
+metrics-smoke:
+	dune build bin tools
+	dune exec -- sekitei metrics --network small --levels C --repeat 2 \
+	  --check > /dev/null
+	dune exec -- sekitei metrics --network small --levels C --format json \
+	  --check > /dev/null
+	@rm -f /tmp/sekitei_flight_smoke.jsonl
+	-dune exec -- sekitei plan --network small --levels C --deadline 0 \
+	  --flight /tmp/sekitei_flight_smoke.jsonl > /dev/null 2>&1
+	@test -s /tmp/sekitei_flight_smoke.jsonl || \
+	  { echo "metrics-smoke: no flight dump written"; exit 1; }
+	@dune exec -- tools/trace_report.exe /tmp/sekitei_flight_smoke.jsonl \
+	  | grep -q "flight-recorder dump" || \
+	  { echo "metrics-smoke: trace_report cannot read the dump"; exit 1; }
+	@echo "metrics-smoke: ok"
+
 # Full benchmark run: every paper exhibit, ablations, microbenchmarks.
 bench:
 	dune exec bench/main.exe
@@ -59,7 +82,7 @@ bench:
 # records warm_search_ms, the search time of a session re-plan that
 # reuses the compiled problem and the hot SLRG oracle.
 bench-json:
-	dune exec bench/main.exe -- --json --tag pr7 --repeat 3 --jobs 1 --warm
+	dune exec bench/main.exe -- --json --tag pr9 --repeat 3 --jobs 1 --warm
 
 # Profile the Small-C run: trace every planner phase to JSONL and render
 # the span tree / counter summary.

@@ -16,6 +16,8 @@ module Validate = Sekitei_spec.Validate
 module Dsl = Sekitei_spec.Dsl
 module Planner = Sekitei_core.Planner
 module Telemetry = Sekitei_telemetry.Telemetry
+module Registry = Sekitei_telemetry.Registry
+module Export = Sekitei_telemetry.Export
 module Plan = Sekitei_core.Plan
 module Compile = Sekitei_core.Compile
 module Replay = Sekitei_core.Replay
@@ -89,6 +91,14 @@ let progress_arg =
              size, best f) to stderr." in
   Arg.(value & flag & info [ "progress" ] ~doc)
 
+let flight_arg =
+  let doc = "Arm a flight recorder: keep the last telemetry events in a \
+             fixed ring (no sink needed) and dump them as JSONL to this \
+             file when a plan fails on a budget or deadline cutoff or an \
+             escaping exception.  Summarize the dump with \
+             tools/trace_report.exe." in
+  Arg.(value & opt (some string) None & info [ "flight" ] ~docv:"FILE" ~doc)
+
 let explain_arg =
   let doc = "Explain the outcome.  For a plan: per-action cost \
              contributions, chosen levels, and the binding resource \
@@ -117,9 +127,15 @@ let deadline_arg =
              frontier was reached, an admissible cost lower bound." in
   Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"MS" ~doc)
 
-(* Assemble the run's telemetry handle from --trace/--progress; returns the
-   handle and a finalizer that flushes and closes the sinks. *)
-let telemetry_of trace progress =
+(* Assemble the run's telemetry handle from --trace/--progress/--flight;
+   returns the handle and a finalizer that flushes and closes the sinks.
+   --flight arms a ring recorder with a dump path: the planner's failure
+   hook writes the JSONL postmortem, so no sink (and no finalizer work)
+   is needed for it. *)
+let telemetry_of ?flight trace progress =
+  let flight =
+    Option.map (fun path -> Telemetry.Flight.create ~dump_path:path ()) flight
+  in
   let progress_sink =
     if not progress then []
     else
@@ -140,13 +156,14 @@ let telemetry_of trace progress =
       ]
   in
   match trace with
-  | None when progress_sink = [] -> (Telemetry.null, fun () -> ())
+  | None when progress_sink = [] && Option.is_none flight ->
+      (Telemetry.null, fun () -> ())
   | None ->
-      let t = Telemetry.create progress_sink in
+      let t = Telemetry.create ?flight progress_sink in
       (t, fun () -> Telemetry.close t)
   | Some file ->
       let oc = open_out file in
-      let t = Telemetry.create (Telemetry.jsonl oc :: progress_sink) in
+      let t = Telemetry.create ?flight (Telemetry.jsonl oc :: progress_sink) in
       ( t,
         fun () ->
           Telemetry.close t;
@@ -218,13 +235,13 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
 
 let plan_cmd =
   let run spec network levels seed rg slrg deadline dot_file audit suggest
-      trace progress explain hquality eager_h verbose =
+      trace progress flight explain hquality eager_h verbose =
     setup_logs verbose;
     let config =
       config_of ~explain ~profile_h:hquality ~defer_h:(not eager_h)
         ?deadline_ms:deadline rg slrg
     in
-    let telemetry, finish_telemetry = telemetry_of trace progress in
+    let telemetry, finish_telemetry = telemetry_of ?flight trace progress in
     let code =
       match spec with
       | Some file -> (
@@ -267,14 +284,18 @@ let plan_cmd =
                   sc.Scenarios.app ~leveling))
     in
     finish_telemetry ();
+    (match flight with
+    | Some file when code <> 0 && Sys.file_exists file ->
+        Format.printf "flight dump written to %s@." file
+    | _ -> ());
     code
   in
   let term =
     Term.(
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
       $ slrg_budget_arg $ deadline_arg $ deployment_dot_arg $ audit_arg
-      $ suggest_arg $ trace_arg $ progress_arg $ explain_arg $ hquality_arg
-      $ eager_h_arg $ verbose_arg)
+      $ suggest_arg $ trace_arg $ progress_arg $ flight_arg $ explain_arg
+      $ hquality_arg $ eager_h_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
 
@@ -365,16 +386,19 @@ exception Script_error of int * string
 
 (* One parsed script line.  The grammar is deliberately tiny:
      plan
+     metrics
      update set-node <node> <resource> <value>
      update set-link <link> <resource> <value>
      update remove-link <link>
      update fail-node <node>
-   Blank lines and `#` comments are skipped.  Node and link operands are
+   `metrics` prints the session's always-on registry (Prometheus text)
+   at that point in the script.  Blank lines and `#` comments are
+   skipped.  Node and link operands are
    stable integer ids: removals tombstone a link without renumbering the
    survivors, so an id printed by `plan`/`audit` output stays valid for
    the rest of the script.  Naming a removed link or a never-issued id
    is reported as a script error with the offending line. *)
-type script_cmd = Do_plan | Do_update of Session.delta
+type script_cmd = Do_plan | Do_metrics | Do_update of Session.delta
 
 let parse_script file =
   let ic = open_in file in
@@ -407,6 +431,7 @@ let parse_script file =
              ->
                ()
            | [ "plan" ] -> cmds := (!lineno, Do_plan) :: !cmds
+           | [ "metrics" ] -> cmds := (!lineno, Do_metrics) :: !cmds
            | [ "update"; "set-node"; n; res; v ] ->
                cmds :=
                  ( !lineno,
@@ -443,8 +468,8 @@ let parse_script file =
                  :: !cmds
            | first :: _ ->
                fail
-                 (Printf.sprintf "unknown command %S (expected plan/update)"
-                    first)
+                 (Printf.sprintf
+                    "unknown command %S (expected plan/metrics/update)" first)
          done
        with End_of_file -> ());
       List.rev !cmds)
@@ -464,17 +489,18 @@ let session_cmd =
       & pos 0 (some file) None
       & info [] ~docv:"SCRIPT"
           ~doc:
-            "Session script: one command per line — $(b,plan), $(b,update \
-             set-node N RES V), $(b,update set-link L RES V), $(b,update \
-             remove-link L), $(b,update fail-node N); blank lines and \
-             $(b,#) comments are ignored.")
+            "Session script: one command per line — $(b,plan), \
+             $(b,metrics) (print the session's metric registry as \
+             Prometheus text), $(b,update set-node N RES V), $(b,update \
+             set-link L RES V), $(b,update remove-link L), $(b,update \
+             fail-node N); blank lines and $(b,#) comments are ignored.")
   in
   let spec_req_arg =
     let doc = "CPP specification file (DSL) the session plans against." in
     Arg.(
       required & opt (some file) None & info [ "spec"; "s" ] ~docv:"FILE" ~doc)
   in
-  let run spec script rg slrg deadline verbose =
+  let run spec script rg slrg deadline flight verbose =
     setup_logs verbose;
     match Dsl.load_file spec with
     | exception Dsl.Dsl_error msg ->
@@ -492,10 +518,17 @@ let session_cmd =
                 2
             | cmds ->
                 let config = config_of ?deadline_ms:deadline rg slrg in
+                let telemetry, finish_telemetry =
+                  telemetry_of ?flight None false
+                in
                 let session =
                   Session.create
-                    (Planner.request ~config topo doc.Dsl.app
+                    (Planner.request ~config ~telemetry topo doc.Dsl.app
                        ~leveling:doc.Dsl.leveling)
+                in
+                let finish code =
+                  finish_telemetry ();
+                  code
                 in
                 let plans = ref 0 and failed = ref 0 in
                 try
@@ -524,6 +557,9 @@ let session_cmd =
                               !plans temperature Session.pp_failure reason
                               s.Session.invalidated_actions
                               s.Session.evicted_entries)
+                    | Do_metrics ->
+                        print_string
+                          (Export.to_prometheus (Session.metrics_snapshot session))
                     | Do_update delta -> (
                         match Session.update session delta with
                         | (_ : Session.t) ->
@@ -547,10 +583,10 @@ let session_cmd =
                                    Printf.sprintf "update %s: %s"
                                      (render_delta delta) msg ))))
                   cmds;
-                if !failed = 0 then 0 else 1
+                finish (if !failed = 0 then 0 else 1)
                 with Script_error (line, msg) ->
                   Format.eprintf "%s:%d: %s@." script line msg;
-                  2))
+                  finish 2))
   in
   Cmd.v
     (Cmd.info "session"
@@ -560,7 +596,104 @@ let session_cmd =
           cache across requests)")
     Term.(
       const run $ spec_req_arg $ script_arg $ rg_budget_arg $ slrg_budget_arg
-      $ deadline_arg $ verbose_arg)
+      $ deadline_arg $ flight_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Plan through a throwaway session and expose its always-on registry.
+   The exit code reflects the exposition (0 rendered, 3 schema-rejected
+   under --check, 2 spec error), not the plan outcome: the command's
+   product is the metrics, and a failed plan is still a valid — often the
+   interesting — set of samples. *)
+let metrics_cmd =
+  let format_arg =
+    let doc = "Exposition format: prometheus (text) or json." in
+    Arg.(
+      value
+      & opt (enum [ ("prometheus", `Prom); ("json", `Json) ]) `Prom
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc)
+  in
+  let check_arg =
+    let doc = "Also run the structural schema validator over the rendered \
+               exposition; exit 3 when it rejects." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let repeat_arg =
+    let doc = "Serve the request N times through one warm session, so the \
+               latency histograms carry warm as well as cold samples." in
+    Arg.(value & opt int 1 & info [ "repeat" ] ~docv:"N" ~doc)
+  in
+  let run spec network levels seed rg slrg deadline repeat format check
+      verbose =
+    setup_logs verbose;
+    let config = config_of ?deadline_ms:deadline rg slrg in
+    let request =
+      match spec with
+      | Some file -> (
+          match Dsl.load_file file with
+          | exception Dsl.Dsl_error msg ->
+              Format.eprintf "spec error: %s@." msg;
+              Error 2
+          | doc -> (
+              match doc.Dsl.topo with
+              | None ->
+                  Format.eprintf "spec file has no network block@.";
+                  Error 2
+              | Some topo ->
+                  Ok
+                    (Planner.request ~config topo doc.Dsl.app
+                       ~leveling:doc.Dsl.leveling)))
+      | None ->
+          let sc =
+            match network with
+            | `Large -> Scenarios.large ~seed ()
+            | other -> scenario_of other
+          in
+          Ok
+            (Planner.request ~config sc.Scenarios.topo sc.Scenarios.app
+               ~leveling:(Media.leveling levels sc.Scenarios.app))
+    in
+    match request with
+    | Error code -> code
+    | Ok req -> (
+        let session = Session.create req in
+        for _ = 1 to max 1 repeat do
+          ignore (Session.plan session : Planner.report)
+        done;
+        let snap = Session.metrics_snapshot session in
+        let rendered =
+          match format with
+          | `Prom -> Export.to_prometheus snap
+          | `Json -> Sekitei_util.Json.to_string (Export.to_json snap) ^ "\n"
+        in
+        print_string rendered;
+        if not check then 0
+        else
+          let verdict =
+            match format with
+            | `Prom -> Export.validate_prometheus rendered
+            | `Json -> Export.validate_json (Export.to_json snap)
+          in
+          match verdict with
+          | Ok () ->
+              Format.eprintf "exposition schema: ok@.";
+              0
+          | Error msg ->
+              Format.eprintf "exposition schema: %s@." msg;
+              3)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Plan a request through a session and print its always-on metric \
+          registry (counters, gauges, latency histograms) as Prometheus \
+          text or JSON")
+    Term.(
+      const run $ spec_arg $ network_arg $ levels_arg $ seed_arg
+      $ rg_budget_arg $ slrg_budget_arg $ deadline_arg $ repeat_arg
+      $ format_arg $ check_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -710,8 +843,8 @@ let main =
     (Cmd.info "sekitei" ~version:"1.0.0"
        ~doc:"Resource-aware deployment planning for component-based applications")
     [
-      plan_cmd; batch_cmd; session_cmd; validate_cmd; table1_cmd; table2_cmd;
-      figure_cmd; topology_cmd;
+      plan_cmd; batch_cmd; session_cmd; metrics_cmd; validate_cmd; table1_cmd;
+      table2_cmd; figure_cmd; topology_cmd;
     ]
 
 let () = exit (Cmd.eval' main)

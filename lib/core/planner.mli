@@ -201,8 +201,18 @@ type report = Session.report = {
     (compile/leveling, plrg, slrg, rg, replay, replay.repair, per-query
     slrg.query), aggregated counters, and periodic ["rg"] progress
     events; failed runs attach the {!pp_failure}-rendered reason to the
-    ["plan"] span end as a ["failure"] attribute. *)
-val plan : ?adjust:(comp:string -> node:int -> float) -> request -> report
+    ["plan"] span end as a ["failure"] attribute.
+
+    [metrics] records the run's lifetime metrics into a shared always-on
+    registry (see {!Session.metrics}); a telemetry handle arming a
+    {!Sekitei_telemetry.Telemetry.Flight} recorder with a dump path gets
+    the ring dumped on [Search_limit] / [Deadline_exceeded] failures and
+    escaping exceptions. *)
+val plan :
+  ?adjust:(comp:string -> node:int -> float) ->
+  ?metrics:Sekitei_telemetry.Registry.t ->
+  request ->
+  report
 
 (** [plan_batch reqs] runs {!plan} on every request, in parallel across
     up to [jobs] domains ({!Sekitei_util.Domain_pool.map}: dynamic load
@@ -217,10 +227,17 @@ val plan : ?adjust:(comp:string -> node:int -> float) -> request -> report
     owns: a {!Sekitei_telemetry.Telemetry.t} handle carries mutable
     counter state, so each request must have its own handle (or
     {!Sekitei_telemetry.Telemetry.null}); a sink shared between those
-    handles must be wrapped with {!Sekitei_telemetry.Telemetry.locked}. *)
+    handles must be wrapped with {!Sekitei_telemetry.Telemetry.locked}.
+
+    [metrics] may be one registry shared by the whole batch: its
+    per-domain shards keep worker recording contention-free, and each
+    worker additionally reports pool-health metrics (["pool.workers"],
+    ["pool.items"], ["pool.worker_busy_ms"], ["pool.worker_idle_ms"])
+    from its own domain when it finishes. *)
 val plan_batch :
   ?adjust:(comp:string -> node:int -> float) ->
   ?jobs:int ->
+  ?metrics:Sekitei_telemetry.Registry.t ->
   request list ->
   report list
 

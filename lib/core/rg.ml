@@ -2,6 +2,7 @@ module Heap = Sekitei_util.Heap
 module Iset = Set.Make (Int)
 module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
+module Registry = Sekitei_telemetry.Registry
 
 type stats = {
   created : int;
@@ -141,7 +142,7 @@ let repair_order ?(max_steps = 20_000) pb tail =
   | Infeasible | Gave_up -> None
 
 let search ?(max_expansions = 500_000) ?(dedup = true) ?(defer = true)
-    ?profile ?(telemetry = Telemetry.null) ?(deadline = Deadline.none)
+    ?profile ?(telemetry = Telemetry.null) ?metrics ?(deadline = Deadline.none)
     (pb : Problem.t) (_plrg : Plrg.t) slrg =
   let progress_interval = Telemetry.progress_interval telemetry in
   let created = ref 0
@@ -256,6 +257,16 @@ let search ?(max_expansions = 500_000) ?(dedup = true) ?(defer = true)
       Telemetry.count telemetry "rg.slrg_saved" (!deferred - !refined_count);
       Telemetry.gauge telemetry "rg.open_left" (float_of_int (Heap.length heap))
     end;
+    (match metrics with
+    | Some m ->
+        (* Lifetime search-volume counters in the always-on registry; one
+           batch of records per search, so name resolution is fine. *)
+        Registry.count m "rg.searches" 1;
+        Registry.count m "rg.created" !created;
+        Registry.count m "rg.expanded" !expanded;
+        Registry.count m "rg.duplicates" !duplicates;
+        Registry.set_gauge m "rg.open_left" (float_of_int (Heap.length heap))
+    | None -> ());
     ( result,
       {
         created = !created;

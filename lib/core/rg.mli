@@ -141,13 +141,18 @@ val repair_order :
 
     [deadline] is polled once per expansion (at pop, after heuristic
     refinement); on expiry the search stops with [Deadline_reached]
-    carrying the frontier-minimum f as a valid lower bound. *)
+    carrying the frontier-minimum f as a valid lower bound.
+
+    [metrics] records lifetime search volume into the always-on registry
+    once per search: ["rg.searches"] / ["rg.created"] / ["rg.expanded"] /
+    ["rg.duplicates"] counters and the ["rg.open_left"] gauge. *)
 val search :
   ?max_expansions:int ->
   ?dedup:bool ->
   ?defer:bool ->
   ?profile:hsample list ref ->
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?metrics:Sekitei_telemetry.Registry.t ->
   ?deadline:Sekitei_util.Deadline.t ->
   Problem.t ->
   Plrg.t ->

@@ -28,6 +28,7 @@ module Log = (val Logs.src_log src : Logs.LOG)
 module Timer = Sekitei_util.Timer
 module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
+module Registry = Sekitei_telemetry.Registry
 module Topology = Sekitei_network.Topology
 module Mutate = Sekitei_network.Mutate
 module Model = Sekitei_spec.Model
@@ -252,6 +253,9 @@ type t = {
   leveling : Leveling.t;
   config : config;
   telemetry : Telemetry.t;
+  metrics : Registry.t;
+      (** always-on lifetime metrics: plans served, warm/cold splits,
+          per-phase latency histograms, search volume *)
   adjust : (comp:string -> node:int -> float) option;
   mutable state : compiled option;
   mutable pending_invalidated : int;
@@ -260,13 +264,14 @@ type t = {
       (** oracle entries evicted by updates since the last plan *)
 }
 
-let create ?adjust (req : request) =
+let create ?adjust ?metrics (req : request) =
   {
     topo = req.topo;
     app = req.app;
     leveling = req.leveling;
     config = req.config;
     telemetry = req.telemetry;
+    metrics = (match metrics with Some m -> m | None -> Registry.create ());
     adjust;
     state = None;
     pending_invalidated = 0;
@@ -275,6 +280,8 @@ let create ?adjust (req : request) =
 
 let topology t = t.topo
 let is_warm t = t.state <> None
+let metrics t = t.metrics
+let metrics_snapshot t = Registry.snapshot t.metrics
 
 let gc_snap () = (Gc.minor_words (), (Gc.quick_stat ()).Gc.major_collections)
 let gc_delta (aw, ac) (bw, bc) = (bw -. aw, bc - ac)
@@ -350,7 +357,56 @@ let build_state t ~deadline =
 (* Plan                                                                *)
 (* ------------------------------------------------------------------ *)
 
-let plan t =
+(* Postmortem hook: when the telemetry handle carries a flight recorder
+   with a dump path, persist the ring (the last N events, ending with the
+   "plan" span's failure attribute and the final counter totals) so the
+   moments before the failure survive for tools/trace_report. *)
+let flight_dump t =
+  match Telemetry.flight t.telemetry with
+  | None -> ()
+  | Some fl -> (
+      match Telemetry.Flight.dump_to_path fl with
+      | None -> ()
+      | Some path ->
+          Registry.count t.metrics "session.flight_dumps" 1;
+          Log.info (fun m ->
+              m "flight recorder: dumped last %d event(s) to %s"
+                (Stdlib.min
+                   (Telemetry.Flight.recorded fl)
+                   (Telemetry.Flight.capacity fl))
+                path))
+
+(* Lifetime metrics recorded for every plan call, successful or not.
+   Phase histograms only take samples from requests that actually ran
+   the phase (warm requests report compile/plrg as 0 ms — not a latency
+   observation, just absence of work). *)
+let record_metrics t ~was_warm (report : report) =
+  let m = t.metrics in
+  Registry.count m "session.plans" 1;
+  Registry.count m
+    (if Result.is_ok report.result then "session.plans_ok"
+     else "session.plans_failed")
+    1;
+  Registry.count m
+    (if was_warm then "session.warm_plans" else "session.cold_plans")
+    1;
+  Registry.observe_ms m "plan.total_ms" report.stats.t_total_ms;
+  Registry.observe_ms m "plan.search_ms" report.stats.t_search_ms;
+  let phase_sample name (p : phase) =
+    if p.ms > 0. then Registry.observe_ms m name p.ms
+  in
+  phase_sample "phase.compile_ms" report.phases.compile;
+  phase_sample "phase.plrg_ms" report.phases.plrg;
+  phase_sample "phase.slrg_ms" report.phases.slrg;
+  phase_sample "phase.rg_ms" report.phases.rg;
+  Registry.count m "session.invalidated_actions"
+    report.phases.reuse.invalidated;
+  Registry.count m "session.evicted_entries" report.phases.reuse.evicted;
+  match report.result with
+  | Ok p -> Registry.set_gauge m "plan.last_cost" p.Plan.cost_lb
+  | Error _ -> ()
+
+let plan_exn t =
   let config = t.config and telemetry = t.telemetry in
   let t_total = Timer.start () in
   let deadline =
@@ -502,7 +558,7 @@ let plan t =
               | Some o -> o
               | None ->
                   let o =
-                    Slrg.create ~telemetry
+                    Slrg.create ~telemetry ~metrics:t.metrics
                       ~query_budget:config.slrg_query_budget pb plrg
                   in
                   st.oracle <- Some o;
@@ -529,8 +585,8 @@ let plan t =
             let profile = if config.profile_h then Some (ref []) else None in
             let result, rg_stats =
               Rg.search ~max_expansions:config.rg_max_expansions
-                ~defer:config.defer_h ?profile ~telemetry ~deadline pb plrg
-                slrg
+                ~defer:config.defer_h ?profile ~telemetry ~metrics:t.metrics
+                ~deadline pb plrg slrg
             in
             let rg_gc = gc_delta gc_rg0 (gc_snap ()) in
             let rg_ms =
@@ -634,6 +690,30 @@ let plan t =
                   stats
           end)
 
+let plan t =
+  let was_warm = is_warm t in
+  match plan_exn t with
+  | report ->
+      record_metrics t ~was_warm report;
+      (* The flight recorder holds its peace through ordinary failures
+         (invalid specs, provably unreachable goals): the report already
+         explains those.  Budget and deadline cutoffs are the cases where
+         the trace of the final moments carries information the report
+         cannot. *)
+      (match report.result with
+      | Error (Search_limit _ | Deadline_exceeded _) -> flight_dump t
+      | _ -> ());
+      report
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (* An escaping exception means some phase died unexpectedly: flush
+         counter totals into the ring, dump, and re-raise. *)
+      Telemetry.flush_counters t.telemetry;
+      Registry.count t.metrics "session.plans" 1;
+      Registry.count t.metrics "session.plans_failed" 1;
+      flight_dump t;
+      Printexc.raise_with_backtrace e bt
+
 (* ------------------------------------------------------------------ *)
 (* Update                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -668,6 +748,7 @@ let update t delta =
   let old_topo = t.topo in
   let new_topo = apply_delta old_topo delta in
   t.topo <- new_topo;
+  Registry.count t.metrics "session.updates" 1;
   (match t.state with
   | None -> ()  (* nothing compiled yet; the next plan starts cold *)
   | Some st -> (

@@ -200,8 +200,17 @@ type t
     {!plan} call.  [adjust] (per-placement cost adjustments, see
     {!Compile.compile}) is fixed for the session's lifetime —
     incremental recompilation reuses grounded actions, which bake the
-    adjustment into their cost bounds. *)
-val create : ?adjust:(comp:string -> node:int -> float) -> request -> t
+    adjustment into their cost bounds.
+
+    [metrics] is the always-on registry the session records lifetime
+    metrics into; by default each session owns a private one.  Pass a
+    shared registry to aggregate several sessions (the batch planner
+    does — its per-domain shards keep workers contention-free). *)
+val create :
+  ?adjust:(comp:string -> node:int -> float) ->
+  ?metrics:Sekitei_telemetry.Registry.t ->
+  request ->
+  t
 
 (** The session's current topology (reflecting every {!update} so far). *)
 val topology : t -> Sekitei_network.Topology.t
@@ -211,11 +220,31 @@ val topology : t -> Sekitei_network.Topology.t
     {!update} had to flush. *)
 val is_warm : t -> bool
 
+(** The session's always-on metric registry.  Every {!plan} records
+    lifetime counters (["session.plans"], [_ok]/[_failed], warm/cold
+    splits, invalidation work), per-phase latency histograms
+    (["phase.compile_ms"] ... ["phase.rg_ms"], ["plan.total_ms"],
+    ["plan.search_ms"]), and the ["plan.last_cost"] gauge; the SLRG
+    oracle and RG search add ["slrg.*"] / ["rg.*"] query and volume
+    metrics; {!update} counts ["session.updates"].  Render a snapshot
+    with {!Sekitei_telemetry.Export}. *)
+val metrics : t -> Sekitei_telemetry.Registry.t
+
+(** [Registry.snapshot (metrics t)]. *)
+val metrics_snapshot : t -> Sekitei_telemetry.Registry.snapshot
+
 (** Serve one plan request from the session state, compiling it first if
     this is the first call (or the state was flushed).  Emits the same
     telemetry span tree as the one-shot planner; on failure the ["plan"]
     span's end event additionally carries a ["failure"] string attribute
-    with the {!pp_failure}-rendered reason. *)
+    with the {!pp_failure}-rendered reason.
+
+    When the request's telemetry handle arms a
+    {!Sekitei_telemetry.Telemetry.Flight} recorder with a dump path, a
+    [Search_limit] or [Deadline_exceeded] failure — or an exception
+    escaping a phase — dumps the ring to that path before returning
+    (counter totals are flushed into the ring first, so the dump ends
+    with the failure evidence). *)
 val plan : t -> report
 
 (** [update t delta] mutates the session's topology and incrementally

@@ -3,6 +3,7 @@ module Itbl = Hashtbl.Make (Int)
 module Timer = Sekitei_util.Timer
 module Deadline = Sekitei_util.Deadline
 module Telemetry = Sekitei_telemetry.Telemetry
+module Registry = Sekitei_telemetry.Registry
 
 (* A budget-exhausted query caches its admissible bound together with the
    expansion budget it spent; a re-query re-runs the A* with that budget
@@ -62,6 +63,15 @@ type t = {
   mutable suffix_harvested : int;
   mutable bound_promoted : int;
   telemetry : Telemetry.t;
+  hit_ctr : Telemetry.counter;
+      (** pre-resolved cell for the per-hit bump — the one counter on the
+          memoized fast path, where a per-call name lookup would show *)
+  harv_ctr : Telemetry.counter;
+  prom_ctr : Telemetry.counter;
+  m_queries : Registry.counter option;
+  m_hits : Registry.counter option;
+  m_query_ms : Registry.histogram option;
+      (** per-query latency distribution in the always-on registry *)
   mutable query_ms : float;
       (** cumulative wall time of non-memoized queries (always tracked —
           the planner's phase report needs it even without telemetry) *)
@@ -75,7 +85,7 @@ type t = {
           the per-proposition sweep runs once per distinct set *)
 }
 
-let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
+let create ?(telemetry = Telemetry.null) ?metrics ?(query_budget = 500)
     (problem : Problem.t) plrg =
   {
     problem;
@@ -94,6 +104,13 @@ let create ?(telemetry = Telemetry.null) ?(query_budget = 500)
     suffix_harvested = 0;
     bound_promoted = 0;
     telemetry;
+    hit_ctr = Telemetry.counter telemetry "slrg.cache_hit";
+    harv_ctr = Telemetry.counter telemetry "slrg.suffix_harvested";
+    prom_ctr = Telemetry.counter telemetry "slrg.bound_promoted";
+    m_queries = Option.map (fun m -> Registry.counter m "slrg.queries") metrics;
+    m_hits = Option.map (fun m -> Registry.counter m "slrg.cache_hits") metrics;
+    m_query_ms =
+      Option.map (fun m -> Registry.histogram m "slrg.query_ms") metrics;
     query_ms = 0.;
     gc_minor_words = 0.;
     gc_major_collections = 0;
@@ -186,11 +203,11 @@ let harvest t ~(root : Propset.handle) ~cost ~g_best ~parent from =
               if Float.is_nan (solved t s.Propset.id) then begin
                 set_solved t s.Propset.id c;
                 t.suffix_harvested <- t.suffix_harvested + 1;
-                Telemetry.count t.telemetry "slrg.suffix_harvested" 1;
+                Telemetry.incr t.harv_ctr 1;
                 if not (Float.is_nan (bound t s.Propset.id)) then begin
                   clear_bound t s.Propset.id;
                   t.bound_promoted <- t.bound_promoted + 1;
-                  Telemetry.count t.telemetry "slrg.bound_promoted" 1
+                  Telemetry.incr t.prom_ctr 1
                 end
               end);
           match Itbl.find_opt parent s.Propset.id with
@@ -351,7 +368,7 @@ let run_query t (root : Propset.handle) ~prior ~budget =
         if not (Float.is_nan (bound t root.Propset.id)) then begin
           clear_bound t root.Propset.id;
           t.bound_promoted <- t.bound_promoted + 1;
-          Telemetry.count t.telemetry "slrg.bound_promoted" 1
+          Telemetry.incr t.prom_ctr 1
         end;
         set_solved t root.Propset.id cost;
         cost
@@ -368,7 +385,12 @@ let run_query t (root : Propset.handle) ~prior ~budget =
     end
   in
   if prior <> None then t.escalation_pool <- t.escalation_pool - !expansions;
-  t.query_ms <- t.query_ms +. Timer.elapsed_ms t0;
+  let this_query_ms = Timer.elapsed_ms t0 in
+  (match t.m_queries with Some c -> Registry.incr c 1 | None -> ());
+  (match t.m_query_ms with
+  | Some h -> Registry.observe h this_query_ms
+  | None -> ());
+  t.query_ms <- t.query_ms +. this_query_ms;
   t.gc_minor_words <- t.gc_minor_words +. (Gc.minor_words () -. gc0_minor);
   t.gc_major_collections <-
     t.gc_major_collections
@@ -388,7 +410,8 @@ let run_query t (root : Propset.handle) ~prior ~budget =
 
 let cache_hit t =
   t.cache_hits <- t.cache_hits + 1;
-  Telemetry.count t.telemetry "slrg.cache_hit" 1
+  Telemetry.incr t.hit_ctr 1;
+  match t.m_hits with Some c -> Registry.incr c 1 | None -> ()
 
 (* [root] must be a handle of this oracle's {!ctx} (the RG shares the ctx
    and passes its nodes' handles through unchanged; results are memoized

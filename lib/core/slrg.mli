@@ -34,9 +34,14 @@ type t
 (** [telemetry] attaches a ["slrg.query"] sub-span to every non-memoized
     query (set size, A* expansions, resulting cost) and counts cache hits
     ([slrg.cache_hit]), harvested suffix entries ([slrg.suffix_harvested])
-    and bound promotions ([slrg.bound_promoted]). *)
+    and bound promotions ([slrg.bound_promoted]).  [metrics] additionally
+    records into the always-on registry: a ["slrg.query_ms"] per-query
+    latency histogram plus ["slrg.queries"] / ["slrg.cache_hits"]
+    counters (handles are resolved once here, on the creating domain, so
+    recording stays off the registry's locks). *)
 val create :
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
+  ?metrics:Sekitei_telemetry.Registry.t ->
   ?query_budget:int ->
   Problem.t ->
   Plrg.t ->

@@ -12,6 +12,9 @@ module Media = Sekitei_domains.Media
 module Json = Sekitei_util.Json
 module Timer = Sekitei_util.Timer
 module Domain_pool = Sekitei_util.Domain_pool
+module Histogram = Sekitei_util.Histogram
+module Telemetry = Sekitei_telemetry.Telemetry
+module Registry = Sekitei_telemetry.Registry
 
 type record = {
   scenario : string;
@@ -25,6 +28,9 @@ type record = {
   slrg_deferred : int;
   slrg_saved : int;
   search_ms : float;
+  search_ms_p50 : float;
+  search_ms_p90 : float;
+  search_ms_p99 : float;
   warm_search_ms : float;
   compile_ms : float;
   plrg_ms : float;
@@ -44,9 +50,21 @@ let median xs =
   else if n mod 2 = 1 then a.(n / 2)
   else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
 
-let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
+let measure ?config ?(repeat = 1) ?(warm = false) ?(metrics_armed = true)
+    (sc : Scenarios.t) level =
   let repeat = Stdlib.max 1 repeat in
   let leveling = Media.leveling level sc.Scenarios.app in
+  (* The recorded timings measure the production configuration: metric
+     registry shared across the repeats and a flight recorder armed on
+     every run's telemetry handle, with no sinks attached — exactly the
+     always-on observability a deployed planner carries.  [--no-metrics]
+     (metrics_armed = false) disarms both for the overhead A/B tracked
+     in EXPERIMENTS.md. *)
+  let metrics = if metrics_armed then Some (Registry.create ()) else None in
+  let telemetry () =
+    if metrics_armed then Telemetry.create ~flight:(Telemetry.Flight.create ()) []
+    else Telemetry.null
+  in
   let runs =
     List.init repeat (fun _ ->
         (* Each timed run starts from a compacted heap: without this,
@@ -54,8 +72,9 @@ let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
            charges its collection cost to whichever run happens to
            allocate next, and the medians drift with measurement order. *)
         Gc.compact ();
-        Planner.plan
-          (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling))
+        Planner.plan ?metrics
+          (Planner.request ?config ~telemetry:(telemetry ())
+             sc.Scenarios.topo sc.Scenarios.app ~leveling))
   in
   (* The planner is deterministic, so the counters agree across repeats;
      they are read from the first run.  Timings (and the allocation
@@ -75,8 +94,9 @@ let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
     else begin
       Gc.compact ();
       let session =
-        Planner.Session.create
-          (Planner.request ?config sc.Scenarios.topo sc.Scenarios.app ~leveling)
+        Planner.Session.create ?metrics
+          (Planner.request ?config ~telemetry:(telemetry ())
+             sc.Scenarios.topo sc.Scenarios.app ~leveling)
       in
       ignore (Planner.Session.plan session);
       median
@@ -84,6 +104,17 @@ let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
              (Planner.Session.plan session).Planner.stats.Planner.t_search_ms))
     end
   in
+  (* Per-repeat distribution of the search time, through the same
+     log-bucketed histogram the metric registry uses: with --repeat 3
+     the percentiles bracket the median that the gate tracks (p50 can
+     differ from the even-count interpolated [median] by the histogram's
+     1% relative error); schema-checked but never gated, since small-N
+     tails are noise by construction. *)
+  let search_hist = Histogram.create () in
+  List.iter
+    (fun r -> Histogram.add search_hist r.Planner.stats.Planner.t_search_ms)
+    runs;
+  let search_p q = Histogram.percentile search_hist q in
   {
     scenario =
       Printf.sprintf "%s-%s" sc.Scenarios.name (Media.scenario_name level);
@@ -97,6 +128,9 @@ let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
     slrg_deferred = s.Planner.slrg_deferred;
     slrg_saved = s.Planner.slrg_saved;
     search_ms = med (fun r -> r.Planner.stats.Planner.t_search_ms);
+    search_ms_p50 = search_p 0.50;
+    search_ms_p90 = search_p 0.90;
+    search_ms_p99 = search_p 0.99;
     warm_search_ms;
     compile_ms = med (fun r -> r.Planner.phases.Planner.compile.Planner.ms);
     plrg_ms = med (fun r -> r.Planner.phases.Planner.plrg.Planner.ms);
@@ -110,11 +144,12 @@ let measure ?config ?(repeat = 1) ?(warm = false) (sc : Scenarios.t) level =
     wall_ms_batch = 0.;
   }
 
-let run_default ?config ?(repeat = 1) ?(jobs = 1) ?(warm = false) () =
+let run_default ?config ?(repeat = 1) ?(jobs = 1) ?(warm = false)
+    ?(metrics_armed = true) () =
   let t = Timer.start () in
   let records =
     Domain_pool.map ~jobs
-      (fun (sc, level) -> measure ?config ~repeat ~warm sc level)
+      (fun (sc, level) -> measure ?config ~repeat ~warm ~metrics_armed sc level)
       [
         (Scenarios.tiny (), Media.C);
         (Scenarios.small (), Media.C);
@@ -145,6 +180,9 @@ let record_to_json ?tag r =
         ("slrg_deferred", Json.Int r.slrg_deferred);
         ("slrg_saved", Json.Int r.slrg_saved);
         ("search_ms", ms r.search_ms);
+        ("search_ms_p50", ms r.search_ms_p50);
+        ("search_ms_p90", ms r.search_ms_p90);
+        ("search_ms_p99", ms r.search_ms_p99);
         ("warm_search_ms", ms r.warm_search_ms);
         ("compile_ms", ms r.compile_ms);
         ("plrg_ms", ms r.plrg_ms);
@@ -175,6 +213,9 @@ let required_keys =
     "\"slrg_deferred\"";
     "\"slrg_saved\"";
     "\"search_ms\"";
+    "\"search_ms_p50\"";
+    "\"search_ms_p90\"";
+    "\"search_ms_p99\"";
     "\"warm_search_ms\"";
     "\"compile_ms\"";
     "\"plrg_ms\"";
@@ -239,8 +280,10 @@ let parse_check doc =
                 | "major_collections" | "jobs" ),
                 Json.Int _ ) ->
                 None
-            | ( ( "search_ms" | "warm_search_ms" | "compile_ms" | "plrg_ms"
-                | "slrg_ms" | "rg_ms" | "minor_words" | "wall_ms_batch" ),
+            | ( ( "search_ms" | "search_ms_p50" | "search_ms_p90"
+                | "search_ms_p99" | "warm_search_ms" | "compile_ms"
+                | "plrg_ms" | "slrg_ms" | "rg_ms" | "minor_words"
+                | "wall_ms_batch" ),
                 (Json.Float _ | Json.Int _) ) ->
                 None
             | _ -> Some k)
@@ -249,9 +292,10 @@ let parse_check doc =
         [
           "scenario"; "actions"; "rg_created"; "rg_expanded"; "rg_duplicates";
           "slrg_cache_hits"; "slrg_suffix_harvested"; "slrg_bound_promoted";
-          "slrg_deferred"; "slrg_saved"; "search_ms"; "warm_search_ms";
-          "compile_ms"; "plrg_ms"; "slrg_ms"; "rg_ms"; "minor_words";
-          "major_collections"; "jobs"; "wall_ms_batch";
+          "slrg_deferred"; "slrg_saved"; "search_ms"; "search_ms_p50";
+          "search_ms_p90"; "search_ms_p99"; "warm_search_ms"; "compile_ms";
+          "plrg_ms"; "slrg_ms"; "rg_ms"; "minor_words"; "major_collections";
+          "jobs"; "wall_ms_batch";
         ]
       in
       let rec go i = function

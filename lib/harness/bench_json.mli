@@ -23,6 +23,13 @@ type record = {
   slrg_deferred : int;  (** RG nodes queued under the cheap PLRG bound *)
   slrg_saved : int;  (** SLRG queries never run thanks to deferral *)
   search_ms : float;  (** graph phases total (plrg + slrg create + rg) *)
+  search_ms_p50 : float;
+      (** per-repeat distribution of [t_search_ms] through a
+          {!Sekitei_util.Histogram} (1% relative error, so [p50] can
+          differ from the interpolated median [search_ms] records);
+          schema-checked but never gated — small-N tails are noise *)
+  search_ms_p90 : float;
+  search_ms_p99 : float;
   warm_search_ms : float;
       (** [t_search_ms] of a warm {!Sekitei_core.Planner.Session} re-plan
           (median over the repeats, after one untimed cold plan); [0.]
@@ -51,11 +58,18 @@ type record = {
     run — the planner is deterministic, so they agree across repeats.
     [warm] (default [false]) additionally opens a planning session, runs
     one untimed cold plan, and records the median [t_search_ms] of
-    [repeat] warm re-plans as [warm_search_ms]. *)
+    [repeat] warm re-plans as [warm_search_ms].
+
+    [metrics_armed] (default [true]) measures the production
+    observability configuration: a shared metric registry and a
+    flight recorder armed on every run's telemetry handle, no sinks
+    attached.  [false] disarms both — the bench's [--no-metrics], used
+    for the overhead A/B recorded in EXPERIMENTS.md. *)
 val measure :
   ?config:Sekitei_core.Planner.config ->
   ?repeat:int ->
   ?warm:bool ->
+  ?metrics_armed:bool ->
   Scenarios.t ->
   Sekitei_domains.Media.scenario ->
   record
@@ -70,6 +84,7 @@ val run_default :
   ?repeat:int ->
   ?jobs:int ->
   ?warm:bool ->
+  ?metrics_armed:bool ->
   unit ->
   record list
 

@@ -1,0 +1,254 @@
+(* Exposition encoders for registry snapshots: Prometheus text format
+   and a JSON document, plus structural validators the metrics smoke
+   check runs over both. *)
+
+module Json = Sekitei_util.Json
+module Histogram = Sekitei_util.Histogram
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; the registry's dotted
+   names (e.g. "session.plans") become underscored. *)
+let sanitize name =
+  let b = Bytes.of_string name in
+  Bytes.iteri
+    (fun i c ->
+      let ok =
+        (c >= 'a' && c <= 'z')
+        || (c >= 'A' && c <= 'Z')
+        || (c >= '0' && c <= '9')
+        || c = '_' || c = ':'
+      in
+      if not ok then Bytes.set b i '_')
+    b;
+  let s = Bytes.to_string b in
+  if s = "" then "_"
+  else
+    match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let float_str v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.12g" v
+
+let percentiles = [ ("p50", 0.50); ("p90", 0.90); ("p99", 0.99) ]
+
+let to_prometheus snap =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s counter" n;
+      line "%s %d" n v)
+    (Registry.counters snap);
+  List.iter
+    (fun (name, v) ->
+      let n = sanitize name in
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (float_str v))
+    (Registry.gauges snap);
+  List.iter
+    (fun (name, h) ->
+      let n = sanitize name in
+      line "# TYPE %s histogram" n;
+      List.iter
+        (fun (le, cum) -> line "%s_bucket{le=\"%s\"} %d" n (float_str le) cum)
+        (Histogram.cumulative h);
+      line "%s_bucket{le=\"+Inf\"} %d" n (Histogram.count h);
+      line "%s_sum %s" n (float_str (Histogram.sum h));
+      line "%s_count %d" n (Histogram.count h))
+    (Registry.histograms snap);
+  Buffer.contents buf
+
+let json_of_histogram h =
+  let summary =
+    if Histogram.count h = 0 then []
+    else
+      List.map (fun (k, p) -> (k, Json.Float (Histogram.percentile h p))) percentiles
+      @ [
+          ("min", Json.Float (Histogram.min_value h));
+          ("max", Json.Float (Histogram.max_value h));
+          ("mean", Json.Float (Histogram.mean h));
+        ]
+  in
+  Json.Obj
+    ([
+       ("count", Json.Int (Histogram.count h));
+       ("zero_count", Json.Int (Histogram.zero_count h));
+       ("sum", Json.Float (Histogram.sum h));
+     ]
+    @ summary
+    @ [
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (le, cum) -> Json.List [ Json.Float le; Json.Int cum ])
+               (Histogram.cumulative h)) );
+      ])
+
+let to_json snap =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Int v)) (Registry.counters snap)) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (n, v) -> (n, Json.Float v)) (Registry.gauges snap)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (n, h) -> (n, json_of_histogram h)) (Registry.histograms snap))
+      );
+    ]
+
+(* ---------------- validators ---------------- *)
+
+let check b msg = if b then Ok () else Error msg
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let rec check_all f = function
+  | [] -> Ok ()
+  | x :: rest ->
+      let* () = f x in
+      check_all f rest
+
+let validate_histogram name j =
+  let err fmt = Printf.ksprintf (fun m -> Printf.sprintf "histogram %s: %s" name m) fmt in
+  let* () = check (Json.member "count" j |> Option.map Json.to_int |> Option.join |> Option.is_some) (err "missing int count") in
+  let* () = check (Json.member "zero_count" j |> Option.map Json.to_int |> Option.join |> Option.is_some) (err "missing int zero_count") in
+  let* () = check (Json.member "sum" j |> Option.map Json.to_float |> Option.join |> Option.is_some) (err "missing sum") in
+  let count = Option.get (Option.join (Option.map Json.to_int (Json.member "count" j))) in
+  let* () =
+    if count = 0 then Ok ()
+    else
+      check_all
+        (fun k ->
+          check
+            (Json.member k j |> Option.map Json.to_float |> Option.join |> Option.is_some)
+            (err "missing %s on non-empty histogram" k))
+        [ "p50"; "p90"; "p99"; "min"; "max"; "mean" ]
+  in
+  match Json.member "buckets" j with
+  | Some (Json.List buckets) ->
+      let rec walk prev = function
+        | [] -> Ok ()
+        | Json.List [ le; cum ] :: rest -> (
+            match (Json.to_float le, Json.to_int cum) with
+            | Some _, Some c ->
+                let* () = check (c >= prev) (err "bucket counts not cumulative") in
+                walk c rest
+            | _ -> Error (err "bucket entry is not [le, count]"))
+        | _ -> Error (err "bucket entry is not a pair")
+      in
+      let* () = walk 0 buckets in
+      let last = List.fold_left (fun _ b -> b) Json.Null buckets in
+      let last_cum =
+        match last with
+        | Json.List [ _; cum ] -> Option.value ~default:0 (Json.to_int cum)
+        | _ -> 0
+      in
+      check
+        (buckets = [] || last_cum = count)
+        (err "cumulative bucket total %d <> count %d" last_cum count)
+  | _ -> Error (err "missing buckets list")
+
+let obj_members name j =
+  match j with
+  | Some (Json.Obj fields) -> Ok fields
+  | _ -> Error (Printf.sprintf "missing %S object" name)
+
+let validate_json j =
+  match obj_members "metrics" (Some j) with
+  | Error _ -> Error "top level is not an object"
+  | Ok _ ->
+      let section name = obj_members name (Json.member name j) in
+      (match section "counters" with
+      | Error _ as e -> e
+      | Ok counters -> (
+          let* () =
+            check_all
+              (fun (n, v) ->
+                check (Json.to_int v |> Option.is_some)
+                  (Printf.sprintf "counter %s is not an int" n))
+              counters
+          in
+          match section "gauges" with
+          | Error _ as e -> e
+          | Ok gauges -> (
+              let* () =
+                check_all
+                  (fun (n, v) ->
+                    check
+                      (Json.to_float v |> Option.is_some)
+                      (Printf.sprintf "gauge %s is not a number" n))
+                  gauges
+              in
+              match section "histograms" with
+              | Error _ as e -> e
+              | Ok histograms ->
+                  check_all (fun (n, h) -> validate_histogram n h) histograms)))
+
+(* The Prometheus validator is deliberately structural: every exposition
+   line is either a comment or "name[{labels}] value", every sample name
+   is legal, and every sample is preceded by a # TYPE declaring its
+   family. *)
+let validate_prometheus text =
+  let typed = Hashtbl.create 16 in
+  let family name =
+    let base =
+      match String.index_opt name '{' with
+      | Some i -> String.sub name 0 i
+      | None -> name
+    in
+    let strip suffix =
+      if String.length base > String.length suffix
+         && String.ends_with ~suffix base
+      then Some (String.sub base 0 (String.length base - String.length suffix))
+      else None
+    in
+    let candidates = List.filter_map strip [ "_sum"; "_count"; "_bucket" ] in
+    match List.filter (Hashtbl.mem typed) candidates with
+    | f :: _ -> f
+    | [] -> base
+  in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno = function
+    | [] -> Ok ()
+    | "" :: rest -> go (lineno + 1) rest
+    | line :: rest ->
+        let err msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+        if String.length line > 0 && line.[0] = '#' then begin
+          (match String.split_on_char ' ' line with
+          | "#" :: "TYPE" :: name :: _ -> Hashtbl.replace typed name ()
+          | _ -> ());
+          go (lineno + 1) rest
+        end
+        else begin
+          (* name{labels} value — labels may contain spaces inside
+             quotes, so split at the last space. *)
+          match String.rindex_opt line ' ' with
+          | None -> err "sample line has no value"
+          | Some i ->
+              let name = String.sub line 0 i in
+              let value = String.sub line (i + 1) (String.length line - i - 1) in
+              let fam = family name in
+              if not (Hashtbl.mem typed fam) then
+                err (Printf.sprintf "sample %s has no # TYPE" fam)
+              else if
+                (not (value = "NaN" || value = "+Inf" || value = "-Inf"))
+                && Option.is_none (float_of_string_opt value)
+              then err (Printf.sprintf "unparseable value %S" value)
+              else
+                let fam_ok =
+                  sanitize fam = fam
+                  && fam <> ""
+                  && not (match fam.[0] with '0' .. '9' -> true | _ -> false)
+                in
+                if not fam_ok then err (Printf.sprintf "illegal metric name %S" fam)
+                else go (lineno + 1) rest
+        end
+  in
+  go 1 lines

@@ -1,0 +1,24 @@
+(** Exposition encoders for {!Registry} snapshots.
+
+    Two formats: Prometheus text (counters, gauges, and cumulative
+    [le]-bucket histograms with [_sum]/[_count], dotted metric names
+    sanitized to [a-zA-Z0-9_:]) and a single JSON document (exact bucket
+    lists plus p50/p90/p99/min/max/mean summaries).  The validators are
+    structural schema checks used by [make metrics-smoke] and the CLI's
+    [--check] flag, so an encoder change that breaks consumers fails CI
+    rather than a dashboard. *)
+
+val sanitize : string -> string
+val to_prometheus : Registry.snapshot -> string
+val to_json : Registry.snapshot -> Sekitei_util.Json.t
+
+(** Checks the {!to_json} shape: [counters]/[gauges]/[histograms]
+    objects with the right member types, cumulative non-decreasing
+    buckets summing to [count], and percentile summaries present on
+    non-empty histograms. *)
+val validate_json : Sekitei_util.Json.t -> (unit, string) result
+
+(** Checks the {!to_prometheus} shape: every sample line parses as
+    [name[{labels}] value], every metric family has a [# TYPE] line, and
+    names are Prometheus-legal. *)
+val validate_prometheus : string -> (unit, string) result

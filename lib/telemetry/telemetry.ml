@@ -1,12 +1,17 @@
 (* Zero-dependency tracing/metrics for the planner phases.
 
    The design pivot is the disabled path: [null] carries no sinks, and
-   every emitting operation starts with a single [sinks == []] branch, so
+   every emitting operation starts with a single [active] branch, so
    threading telemetry through the hot search loops costs one predictable
    branch per emit when tracing is off.  Span handles still carry a
    monotonic start time even when disabled, because the planner's phase
    report is populated from span durations whether or not any sink
-   listens. *)
+   listens.
+
+   A handle may also arm a {!Flight} recorder: a fixed-capacity ring that
+   retains the last N events at the cost of one array store each, with no
+   channel or allocation on the recording path, so it is safe to leave on
+   in production and dump only when a plan fails. *)
 
 module Timer = Sekitei_util.Timer
 module Json = Sekitei_util.Json
@@ -32,150 +37,10 @@ type event =
 
 type sink = { emit : event -> unit; close : unit -> unit }
 
-type t = {
-  sinks : sink list;
-  origin : Timer.t;
-  progress_interval : int;
-  mutable next_id : int;
-  mutable open_stack : int list;  (** ids of currently open spans *)
-  counters : (string, int) Hashtbl.t;
-}
+(* ---------------- JSON encoding ----------------
 
-type span = { span_id : int; span_name : string; started : Timer.t }
-
-let make sinks progress_interval =
-  {
-    sinks;
-    origin = Timer.start ();
-    progress_interval;
-    next_id = 1;
-    open_stack = [];
-    counters = Hashtbl.create 16;
-  }
-
-let null = make [] 0
-let create ?(progress_every = 1000) sinks = make sinks (max 1 progress_every)
-let enabled t = t.sinks <> []
-let progress_interval t = if enabled t then t.progress_interval else 0
-let elapsed_ms t = Timer.elapsed_ms t.origin
-let emit t ev = List.iter (fun s -> s.emit ev) t.sinks
-
-(* ---------------- spans ---------------- *)
-
-let begin_span t name =
-  let sp = { span_id = 0; span_name = name; started = Timer.start () } in
-  if t.sinks == [] then sp
-  else begin
-    let id = t.next_id in
-    t.next_id <- id + 1;
-    let parent = match t.open_stack with [] -> 0 | p :: _ -> p in
-    t.open_stack <- id :: t.open_stack;
-    emit t (Span_begin { id; parent; name; t_ms = elapsed_ms t });
-    { sp with span_id = id }
-  end
-
-let end_span ?(attrs = []) t sp =
-  let dur_ms = Timer.elapsed_ms sp.started in
-  if t.sinks != [] then begin
-    (* Pop through to this span's id: tolerates a child span leaked by an
-       exception so the tree stays consistent for sinks. *)
-    let rec pop = function
-      | [] -> []
-      | id :: rest -> if id = sp.span_id then rest else pop rest
-    in
-    t.open_stack <- pop t.open_stack;
-    emit t
-      (Span_end
-         { id = sp.span_id; name = sp.span_name; t_ms = elapsed_ms t; dur_ms; attrs })
-  end;
-  dur_ms
-
-let with_span ?attrs t name f =
-  let sp = begin_span t name in
-  Fun.protect
-    ~finally:(fun () -> ignore (end_span ?attrs t sp))
-    f
-
-let with_span_timed ?attrs t name f =
-  let sp = begin_span t name in
-  match f () with
-  | v -> (v, end_span ?attrs t sp)
-  | exception e ->
-      ignore (end_span ?attrs t sp);
-      raise e
-
-(* ---------------- counters / gauges / progress ---------------- *)
-
-let count t name n =
-  if t.sinks != [] then
-    let cur = try Hashtbl.find t.counters name with Not_found -> 0 in
-    Hashtbl.replace t.counters name (cur + n)
-
-let counter_total t name =
-  try Hashtbl.find t.counters name with Not_found -> 0
-
-let flush_counters t =
-  if t.sinks != [] then begin
-    let t_ms = elapsed_ms t in
-    Hashtbl.fold (fun name total acc -> (name, total) :: acc) t.counters []
-    |> List.sort compare
-    |> List.iter (fun (name, total) -> emit t (Counter { name; total; t_ms }))
-  end
-
-let gauge t name value =
-  if t.sinks != [] then emit t (Gauge { name; value; t_ms = elapsed_ms t })
-
-let progress t name attrs =
-  if t.sinks != [] then emit t (Progress { name; t_ms = elapsed_ms t; attrs })
-
-let close t =
-  flush_counters t;
-  List.iter (fun s -> s.close ()) t.sinks
-
-(* ---------------- sinks ---------------- *)
-
-let sink ?(close = fun () -> ()) emit = { emit; close }
-
-let memory () =
-  let events = ref [] in
-  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
-    fun () -> List.rev !events )
-
-let locked s =
-  let m = Mutex.create () in
-  let guarded f x =
-    Mutex.lock m;
-    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
-  in
-  { emit = guarded s.emit; close = (fun () -> guarded s.close ()) }
-
-let pp_value fmt = function
-  | Bool b -> Format.pp_print_bool fmt b
-  | Int i -> Format.pp_print_int fmt i
-  | Float f -> Format.fprintf fmt "%g" f
-  | Str s -> Format.pp_print_string fmt s
-
-let pp_attrs fmt attrs =
-  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) attrs
-
-let event_line ev =
-  match ev with
-  | Span_begin { name; t_ms; _ } -> Format.asprintf "[%8.2fms] > %s" t_ms name
-  | Span_end { name; t_ms; dur_ms; attrs; _ } ->
-      Format.asprintf "[%8.2fms] < %s (%.2fms)%a" t_ms name dur_ms pp_attrs
-        attrs
-  | Counter { name; total; t_ms } ->
-      Format.asprintf "[%8.2fms] # %s = %d" t_ms name total
-  | Gauge { name; value; t_ms } ->
-      Format.asprintf "[%8.2fms] # %s = %g" t_ms name value
-  | Progress { name; t_ms; attrs } ->
-      Format.asprintf "[%8.2fms] . %s%a" t_ms name pp_attrs attrs
-
-let logs_sink () =
-  {
-    emit = (fun ev -> Log.info (fun m -> m "%s" (event_line ev)));
-    close = (fun () -> ());
-  }
+   Defined before the sinks and the flight recorder, which both write
+   it. *)
 
 let json_of_value = function
   | Bool b -> Json.Bool b
@@ -227,15 +92,267 @@ let json_of_event ev =
   in
   Json.Obj (obj ev)
 
+(* ---------------- flight recorder ---------------- *)
+
+module Flight = struct
+  type t = {
+    capacity : int;
+    ring : event array;
+    mutable total : int;  (* events ever recorded; ring slot = total mod capacity *)
+    dump_path : string option;
+  }
+
+  (* Ring slots start filled with a harmless placeholder that [events]
+     never exposes (only the first [min total capacity] logical slots are
+     read back). *)
+  let placeholder = Counter { name = ""; total = 0; t_ms = 0. }
+
+  let create ?(capacity = 512) ?dump_path () =
+    if capacity < 1 then invalid_arg "Flight.create: capacity < 1";
+    { capacity; ring = Array.make capacity placeholder; total = 0; dump_path }
+
+  let capacity fl = fl.capacity
+  let recorded fl = fl.total
+  let dump_path fl = fl.dump_path
+
+  let record fl ev =
+    fl.ring.(fl.total mod fl.capacity) <- ev;
+    fl.total <- fl.total + 1
+
+  let events fl =
+    let n = min fl.total fl.capacity in
+    let first = fl.total - n in
+    List.init n (fun i -> fl.ring.((first + i) mod fl.capacity))
+
+  (* First line is a meta object so a reader knows how much history was
+     dropped; the rest is ordinary telemetry JSONL (oldest first). *)
+  let dump fl oc =
+    let n = min fl.total fl.capacity in
+    let meta =
+      Json.Obj
+        [
+          ("ev", Json.Str "flight_dump");
+          ("capacity", Json.Int fl.capacity);
+          ("recorded", Json.Int fl.total);
+          ("dropped", Json.Int (fl.total - n));
+        ]
+    in
+    output_string oc (Json.to_string meta);
+    output_char oc '\n';
+    List.iter
+      (fun ev ->
+        output_string oc (Json.to_string (json_of_event ev));
+        output_char oc '\n')
+      (events fl);
+    flush oc
+
+  let dump_to_path fl =
+    match fl.dump_path with
+    | None -> None
+    | Some path ->
+        let oc = open_out path in
+        Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> dump fl oc);
+        Some path
+end
+
+(* ---------------- handles ---------------- *)
+
+type t = {
+  sinks : sink list;
+  flight : Flight.t option;
+  active : bool;  (* sinks <> [] || flight armed; the one hot-path branch *)
+  origin : Timer.t;
+  progress_interval : int;
+  mutable next_id : int;
+  mutable open_stack : int list;  (** ids of currently open spans *)
+  counters : (string, int ref) Hashtbl.t;
+}
+
+type span = { span_id : int; span_name : string; started : Timer.t }
+
+let make ?flight sinks progress_interval =
+  {
+    sinks;
+    flight;
+    active = sinks <> [] || flight <> None;
+    origin = Timer.start ();
+    progress_interval;
+    next_id = 1;
+    open_stack = [];
+    (* Pre-sized past the planner's worst-case live counter-name count so
+       recording never rehashes mid-search. *)
+    counters = Hashtbl.create 64;
+  }
+
+let null = make [] 0
+
+let create ?(progress_every = 1000) ?flight sinks =
+  make ?flight sinks (max 1 progress_every)
+
+let enabled t = t.active
+let flight t = t.flight
+let progress_interval t = if t.active then t.progress_interval else 0
+let elapsed_ms t = Timer.elapsed_ms t.origin
+
+let emit t ev =
+  (match t.flight with Some fl -> Flight.record fl ev | None -> ());
+  List.iter (fun s -> s.emit ev) t.sinks
+
+(* ---------------- spans ---------------- *)
+
+let begin_span t name =
+  let sp = { span_id = 0; span_name = name; started = Timer.start () } in
+  if not t.active then sp
+  else begin
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    let parent = match t.open_stack with [] -> 0 | p :: _ -> p in
+    t.open_stack <- id :: t.open_stack;
+    emit t (Span_begin { id; parent; name; t_ms = elapsed_ms t });
+    { sp with span_id = id }
+  end
+
+let end_span ?(attrs = []) t sp =
+  let dur_ms = Timer.elapsed_ms sp.started in
+  if t.active then begin
+    (* Pop through to this span's id: tolerates a child span leaked by an
+       exception so the tree stays consistent for sinks. *)
+    let rec pop = function
+      | [] -> []
+      | id :: rest -> if id = sp.span_id then rest else pop rest
+    in
+    t.open_stack <- pop t.open_stack;
+    emit t
+      (Span_end
+         { id = sp.span_id; name = sp.span_name; t_ms = elapsed_ms t; dur_ms; attrs })
+  end;
+  dur_ms
+
+let with_span ?attrs t name f =
+  let sp = begin_span t name in
+  Fun.protect
+    ~finally:(fun () -> ignore (end_span ?attrs t sp))
+    f
+
+let with_span_timed ?attrs t name f =
+  let sp = begin_span t name in
+  match f () with
+  | v -> (v, end_span ?attrs t sp)
+  | exception e ->
+      ignore (end_span ?attrs t sp);
+      raise e
+
+(* ---------------- counters / gauges / progress ---------------- *)
+
+let find_cell t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let count t name n =
+  if t.active then begin
+    let r = find_cell t name in
+    r := !r + n
+  end
+
+type counter = { c_active : bool; cell : int ref }
+
+let counter t name =
+  if t.active then { c_active = true; cell = find_cell t name }
+  else { c_active = false; cell = ref 0 }
+
+let incr c n = if c.c_active then c.cell := !(c.cell) + n
+
+let counter_total t name =
+  match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let flush_counters t =
+  if t.active then begin
+    let t_ms = elapsed_ms t in
+    Hashtbl.fold (fun name total acc -> (name, !total) :: acc) t.counters []
+    |> List.sort compare
+    |> List.iter (fun (name, total) -> emit t (Counter { name; total; t_ms }))
+  end
+
+let gauge t name value =
+  if t.active then emit t (Gauge { name; value; t_ms = elapsed_ms t })
+
+let progress t name attrs =
+  if t.active then emit t (Progress { name; t_ms = elapsed_ms t; attrs })
+
+let close t =
+  flush_counters t;
+  List.iter (fun s -> s.close ()) t.sinks
+
+(* ---------------- sinks ---------------- *)
+
+let sink ?(close = fun () -> ()) emit = { emit; close }
+
+let memory () =
+  let events = ref [] in
+  ( { emit = (fun ev -> events := ev :: !events); close = (fun () -> ()) },
+    fun () -> List.rev !events )
+
+let locked s =
+  let m = Mutex.create () in
+  let guarded f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { emit = guarded s.emit; close = (fun () -> guarded s.close ()) }
+
+let pp_value fmt = function
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.pp_print_string fmt s
+
+let pp_attrs fmt attrs =
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%a" k pp_value v) attrs
+
+let event_line ev =
+  match ev with
+  | Span_begin { name; t_ms; _ } -> Format.asprintf "[%8.2fms] > %s" t_ms name
+  | Span_end { name; t_ms; dur_ms; attrs; _ } ->
+      Format.asprintf "[%8.2fms] < %s (%.2fms)%a" t_ms name dur_ms pp_attrs
+        attrs
+  | Counter { name; total; t_ms } ->
+      Format.asprintf "[%8.2fms] # %s = %d" t_ms name total
+  | Gauge { name; value; t_ms } ->
+      Format.asprintf "[%8.2fms] # %s = %g" t_ms name value
+  | Progress { name; t_ms; attrs } ->
+      Format.asprintf "[%8.2fms] . %s%a" t_ms name pp_attrs attrs
+
+let logs_sink () =
+  {
+    emit = (fun ev -> Log.info (fun m -> m "%s" (event_line ev)));
+    close = (fun () -> ());
+  }
+
 let jsonl oc =
+  (* Track span nesting so the channel is flushed whenever a root span
+     closes: a short traced run (one plan) reaches the file even if the
+     process is killed before [close], and a long run flushes between
+     requests rather than mid-span. *)
+  let depth = ref 0 in
   {
     emit =
       (fun ev ->
         output_string oc (Json.to_string (json_of_event ev));
         output_char oc '\n';
-        (* Progress events are the live heartbeat of a long search;
-           flush so tailing the trace file shows them as they happen
-           instead of whenever the channel buffer fills. *)
-        match ev with Progress _ -> flush oc | _ -> ());
+        match ev with
+        | Span_begin _ -> Stdlib.incr depth
+        | Span_end _ ->
+            depth := Stdlib.max 0 (!depth - 1);
+            if !depth = 0 then flush oc
+        | Progress _ ->
+            (* Progress events are the live heartbeat of a long search;
+               flush so tailing the trace file shows them as they happen
+               instead of whenever the channel buffer fills. *)
+            flush oc
+        | _ -> ());
     close = (fun () -> flush oc);
   }

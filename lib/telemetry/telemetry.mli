@@ -36,17 +36,65 @@ type event =
       (** periodic search heartbeat (open-list size, best f, ...) *)
 
 type sink = { emit : event -> unit; close : unit -> unit }
+
+(** {1 Flight recorder}
+
+    A fixed-capacity ring of the most recent telemetry events.  Arming
+    one on a handle (see {!create}) activates event generation even with
+    no sinks attached, but recording an event is a single array store —
+    no channel, no allocation — so the recorder is safe to leave on in
+    production.  When a plan fails, the planner dumps the ring as JSONL
+    (readable by [tools/trace_report]) for a postmortem of the moments
+    before the failure. *)
+module Flight : sig
+  type t
+
+  (** [create ?capacity ?dump_path ()] — ring holding the last
+      [capacity] (default 512) events.  [dump_path] is where
+      {!dump_to_path} writes (the planner's failure hook dumps there
+      automatically when set).
+      @raise Invalid_argument when [capacity < 1]. *)
+  val create : ?capacity:int -> ?dump_path:string -> unit -> t
+
+  val capacity : t -> int
+
+  (** Events ever recorded (not capped at capacity). *)
+  val recorded : t -> int
+
+  val dump_path : t -> string option
+  val record : t -> event -> unit
+
+  (** The retained events, oldest first — the last
+      [min recorded capacity] recorded. *)
+  val events : t -> event list
+
+  (** JSONL dump: one meta line
+      [{"ev":"flight_dump","capacity":..,"recorded":..,"dropped":..}]
+      followed by the retained events, oldest first.  Flushes [oc]. *)
+  val dump : t -> out_channel -> unit
+
+  (** {!dump} to [dump_path] (truncating); [None] when no path is set,
+      otherwise the path written. *)
+  val dump_to_path : t -> string option
+end
+
 type t
 
-(** The default: no sinks, near-zero overhead. *)
+(** The default: no sinks, no flight recorder, near-zero overhead. *)
 val null : t
 
 (** [create sinks] starts the monotonic origin clock now.
     [progress_every] (default 1000) is the expansion interval the RG
-    search uses between {!progress} heartbeats. *)
-val create : ?progress_every:int -> sink list -> t
+    search uses between {!progress} heartbeats.  [flight] arms a flight
+    recorder: every event emitted to the sinks is also recorded in the
+    ring, and events are generated even when [sinks] is empty. *)
+val create : ?progress_every:int -> ?flight:Flight.t -> sink list -> t
 
+(** True when any sink or a flight recorder is attached. *)
 val enabled : t -> bool
+
+(** The armed flight recorder, if any (for failure-path dumps). *)
+val flight : t -> Flight.t option
 
 (** The configured heartbeat interval; 0 when disabled (callers skip the
     modulo entirely). *)
@@ -88,6 +136,19 @@ val with_span_timed :
     by {!flush_counters}). *)
 val count : t -> string -> int -> unit
 
+(** A pre-resolved counter cell: {!incr} is a branch plus an integer
+    add — no per-call name hashing — so hot loops (SLRG cache hits, RG
+    expansions) can count unconditionally.  Under {!null} the handle is
+    inert. *)
+type counter
+
+(** [counter t name] resolves (creating if needed) the named counter's
+    cell.  Later {!count}/{!counter_total} calls for the same name see
+    increments made through the handle. *)
+val counter : t -> string -> counter
+
+val incr : counter -> int -> unit
+
 (** Current aggregate (0 for unknown names or under {!null}). *)
 val counter_total : t -> string -> int
 
@@ -122,9 +183,11 @@ val locked : sink -> sink
 val logs_sink : unit -> sink
 
 (** One compact JSON object per event, one per line (JSONL).  The
-    channel is flushed after every [Progress] event, so tailing a live
-    trace of a long search shows the heartbeats as they happen.
-    [close] flushes but does not close the channel. *)
+    channel is flushed after every [Progress] event (so tailing a live
+    trace of a long search shows the heartbeats as they happen), after
+    every root [Span_end] (so short traced runs are never lost in the
+    channel buffer), and on [close].  [close] flushes but does not close
+    the channel. *)
 val jsonl : out_channel -> sink
 
 (** The JSONL encoding, exposed for the trace-report tool and tests. *)

@@ -96,7 +96,7 @@ Script errors name the offending line and exit 2:
 
   $ echo "frobnicate 1" > bad.script
   $ sekitei session --spec spec.file bad.script
-  bad.script:1: unknown command "frobnicate" (expected plan/update)
+  bad.script:1: unknown command "frobnicate" (expected plan/metrics/update)
   [2]
 
 --deadline bounds a request's wall clock; an exhausted budget names the
@@ -104,6 +104,42 @@ phase that gave up:
 
   $ sekitei plan --spec spec.file --deadline 0 | head -1
   No plan: deadline exceeded in compile phase
+
+--flight arms the always-on flight recorder: a failed plan dumps the
+ring as JSONL, and the trace report summarizes the moments before the
+failure:
+
+  $ sekitei plan --spec spec.file --deadline 0 --flight fl.jsonl | tail -1
+  flight dump written to fl.jsonl
+  $ head -1 fl.jsonl
+  {"ev": "flight_dump", "capacity": 512, "recorded": 5, "dropped": 0}
+  $ ../tools/trace_report.exe fl.jsonl | head -3
+  flight-recorder dump: 5 event(s) recorded, ring capacity 512, 0 rotated out
+  
+  no plan: deadline exceeded in compile phase
+
+
+The metrics subcommand plans and exposes the session's lifetime
+metrics; counters are deterministic, and --check validates the
+exposition schema (on stderr, so scrapers reading stdout are unaffected):
+
+  $ sekitei metrics --spec spec.file | grep -E '^(session_plans|session_plans_ok|rg_searches) '
+  rg_searches 1
+  session_plans 1
+  session_plans_ok 1
+  $ sekitei metrics --spec spec.file --repeat 3 --check > metrics.prom
+  exposition schema: ok
+  $ grep '^session_plans ' metrics.prom
+  session_plans 3
+  $ sekitei metrics --spec spec.file --format json --check > /dev/null
+  exposition schema: ok
+
+A session script's metrics verb exposes the same registry mid-session:
+
+  $ printf 'plan\nmetrics\n' > metrics.script
+  $ sekitei session --spec spec.file metrics.script | grep -E '^(session_plans|session_cold_plans) '
+  session_cold_plans 1
+  session_plans 1
 
 Table 1 prints the level scenarios:
 
@@ -128,6 +164,14 @@ exclusive-time profile instead (timings vary, so only check shape):
   1
   $ ../tools/trace_report.exe --self trace.jsonl | grep -cE '^\| (rg|slrg) '
   2
+
+A trace cut off mid-line (killed process, interrupted dump) is still
+readable — the partial tail is skipped with a warning, not a parse
+abort:
+
+  $ head -c $(($(wc -c < trace.jsonl) - 20)) trace.jsonl > truncated.jsonl
+  $ ../tools/trace_report.exe truncated.jsonl | tail -1
+  warning: trailing line truncated mid-object (dump or killed trace) — skipped
 
 --explain tabulates the solved plan: per-action cost-bound
 contributions (the column total is exactly the optimized plan cost),

@@ -173,6 +173,9 @@ let bench_record ?(scenario = "Tiny-C") ?(search_ms = 10.) ?(rg_created = 100)
     slrg_deferred = 90;
     slrg_saved = 70;
     search_ms;
+    search_ms_p50 = search_ms;
+    search_ms_p90 = search_ms;
+    search_ms_p99 = search_ms;
     warm_search_ms = 4.;
     compile_ms = 0.1;
     plrg_ms = 0.02;

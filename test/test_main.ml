@@ -23,6 +23,7 @@ let () =
       ("core.planner.advanced", Test_planner_advanced.suite);
       ("extensions", Test_extensions.suite);
       ("telemetry", Test_telemetry.suite);
+      ("metrics", Test_metrics.suite);
       ("tools", Test_tools.suite);
       ("integration", Test_integration_extra.suite);
       ("properties", Test_qcheck.suite);

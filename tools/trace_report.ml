@@ -15,6 +15,7 @@
 
 module Json = Sekitei_util.Json
 module Table = Sekitei_util.Ascii_table
+module Histogram = Sekitei_util.Histogram
 
 type span = {
   name : string;
@@ -29,6 +30,15 @@ type trace = {
   mutable gauges : (string * float) list;
   mutable progress : int;
   mutable bad_lines : int;
+  mutable truncated_tail : bool;
+      (* the file's last line failed to parse: a flight dump or killed
+         trace cut an object mid-line; reported separately from mid-file
+         junk so postmortems know the tail is missing, not corrupt *)
+  mutable flight : (int * int * int) option;
+      (* (capacity, recorded, dropped) from a flight-recorder dump's
+         meta line: the trace is a postmortem ring, oldest events may
+         have rotated out *)
+  mutable next_synth_id : int;  (* fresh ids for synthesized spans *)
   mutable plan_failure : string option;
       (* "failure" attribute of a plan span's end event: the planner
          attaches the rendered failure reason there when a run returns
@@ -59,8 +69,24 @@ let add_event tr j =
           | Some sp ->
               sp.dur_ms <- dur_ms;
               sp.ended <- true
-          | None -> tr.bad_lines <- tr.bad_lines + 1)
+          | None -> (
+              (* In a flight-recorder dump the matching span_begin may
+                 have rotated out of the ring: synthesize a root-level
+                 span from the end event (name and duration are on it)
+                 instead of dropping the sample. *)
+              match (tr.flight, get_str j "name") with
+              | Some _, Some name ->
+                  tr.next_synth_id <- tr.next_synth_id - 1;
+                  Hashtbl.replace tr.spans tr.next_synth_id
+                    { name; parent = 0; dur_ms; ended = true }
+              | _ -> tr.bad_lines <- tr.bad_lines + 1))
       | _ -> tr.bad_lines <- tr.bad_lines + 1)
+  | Some "flight_dump" ->
+      tr.flight <-
+        Some
+          ( Option.value ~default:0 (get_int j "capacity"),
+            Option.value ~default:0 (get_int j "recorded"),
+            Option.value ~default:0 (get_int j "dropped") )
   | Some "counter" -> (
       match (get_str j "name", get_int j "total") with
       | Some name, Some total -> tr.counters <- set_assoc name total tr.counters
@@ -80,6 +106,9 @@ let load path =
       gauges = [];
       progress = 0;
       bad_lines = 0;
+      truncated_tail = false;
+      flight = None;
+      next_synth_id = 0;
       plan_failure = None;
     }
   in
@@ -90,10 +119,15 @@ let load path =
       try
         while true do
           let line = String.trim (input_line ic) in
+          tr.truncated_tail <- false;
           if line <> "" then
             match Json.of_string line with
             | Ok j -> add_event tr j
-            | Error _ -> tr.bad_lines <- tr.bad_lines + 1
+            | Error _ ->
+                (* Stays set if this turns out to be the last line: a
+                   dump or kill cut the object mid-write. *)
+                tr.truncated_tail <- true;
+                tr.bad_lines <- tr.bad_lines + 1
         done
       with End_of_file -> ());
   tr
@@ -219,6 +253,61 @@ let render_self tr =
     rows;
   Table.render t
 
+(* Span-duration distributions, through the same log-bucketed histograms
+   the metric registry exposes: a name spanned many times (slrg.query
+   under a large search) gets p50/p90/p99/max instead of only the totals
+   the tree shows.  Names with a single ended instance are omitted — a
+   one-sample distribution is just the tree row again. *)
+let render_histograms tr =
+  let by_name = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ (sp : span) ->
+      if sp.ended then
+        let h =
+          match Hashtbl.find_opt by_name sp.name with
+          | Some h -> h
+          | None ->
+              let h = Histogram.create () in
+              Hashtbl.add by_name sp.name h;
+              h
+        in
+        Histogram.add h sp.dur_ms)
+    tr.spans;
+  let rows =
+    Hashtbl.fold
+      (fun name h acc ->
+        if Histogram.count h >= 2 then (name, h) :: acc else acc)
+      by_name []
+    |> List.sort (fun (_, a) (_, b) ->
+           Float.compare (Histogram.sum b) (Histogram.sum a))
+  in
+  if rows = [] then ""
+  else begin
+    let t =
+      Table.create
+        ~aligns:
+          [
+            Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+            Table.Right;
+          ]
+        [ "span durations"; "count"; "p50 ms"; "p90 ms"; "p99 ms"; "max ms" ]
+    in
+    List.iter
+      (fun (name, h) ->
+        let p q = Printf.sprintf "%.3f" (Histogram.percentile h q) in
+        Table.add_row t
+          [
+            name;
+            string_of_int (Histogram.count h);
+            p 0.50;
+            p 0.90;
+            p 0.99;
+            Printf.sprintf "%.3f" (Histogram.max_value h);
+          ])
+      rows;
+    "\n" ^ Table.render t
+  end
+
 let render_counters tr =
   if tr.counters = [] then ""
   else begin
@@ -257,17 +346,30 @@ let () =
         Printf.eprintf "%s: no spans found\n" path;
         exit 1
       end;
+      (match tr.flight with
+      | Some (capacity, recorded, dropped) ->
+          Printf.printf
+            "flight-recorder dump: %d event(s) recorded, ring capacity %d, \
+             %d rotated out\n\n"
+            recorded capacity dropped
+      | None -> ());
       (match tr.plan_failure with
       | Some reason -> Printf.printf "no plan: %s\n\n" reason
       | None -> ());
       if self_mode then print_string (render_self tr)
       else print_string (render_tree (aggregate tr));
+      print_string (render_histograms tr);
       print_string (render_counters tr);
       print_string (render_gauges tr);
       if tr.progress > 0 then
         Printf.printf "\n%d progress heartbeat(s)\n" tr.progress;
-      if tr.bad_lines > 0 then
-        Printf.printf "\nwarning: %d unparseable line(s) skipped\n" tr.bad_lines
+      if tr.truncated_tail then
+        Printf.printf
+          "\nwarning: trailing line truncated mid-object (dump or killed \
+           trace) — skipped\n";
+      let mid_junk = tr.bad_lines - if tr.truncated_tail then 1 else 0 in
+      if mid_junk > 0 then
+        Printf.printf "\nwarning: %d unparseable line(s) skipped\n" mid_junk
   | None ->
       Printf.eprintf "usage: %s [--self] TRACE.jsonl\n" Sys.argv.(0);
       exit 2
