@@ -1,4 +1,4 @@
-.PHONY: build test lint cram check bench bench-json bench-gate metrics-smoke profile clean
+.PHONY: build test lint cram check check-smoke bench bench-json bench-gate metrics-smoke profile clean
 
 build:
 	dune build
@@ -9,13 +9,22 @@ test:
 # Source hygiene.  The build image has no ocamlformat, so the lint is
 # the closest equivalent: `dune build @check` typechecks every module
 # (including ones no executable pulls in), and a grep rejects trailing
-# whitespace and tab indentation in OCaml sources.
+# whitespace and tab indentation in OCaml sources.  A second grep
+# rejects catch-all exception handlers (`with _ ->`) outside test/:
+# they swallow Out_of_memory and Stack_overflow and have twice hidden
+# real parse bugs.  A deliberate catch-all must carry the annotation
+# `(* lint: allow-catch-all *)` on the same line.
 lint:
 	dune build @check
 	@if grep -rnI --include='*.ml' --include='*.mli' -e ' $$' -e '	' \
 	  lib bin test examples bench tools; then \
 	  echo "lint: trailing whitespace / tab indentation found"; exit 1; \
 	else echo "lint: clean"; fi
+	@if grep -rnI --include='*.ml' 'with _ ->' lib bin examples bench tools \
+	  | grep -v 'lint: allow-catch-all'; then \
+	  echo "lint: catch-all handler; name the exception or annotate" \
+	    "with (* lint: allow-catch-all *)"; exit 1; \
+	else echo "lint: no catch-all handlers"; fi
 
 # The session/mutation cram tests, re-run even when dune's cache is
 # warm: these pin the CLI surface of stable link ids (stale-id updates
@@ -32,8 +41,31 @@ check:
 	dune build
 	dune runtest
 	$(MAKE) cram
+	$(MAKE) check-smoke
 	$(MAKE) metrics-smoke
 	$(MAKE) bench-gate
+
+# Static-analysis smoke: `sekitei check` must accept every shipped
+# feasible spec and prove the capacity-starved diamond infeasible
+# (exit 2) without ever running the RG search.  Guards both directions
+# of the preflight analyzer: a grounding change that kills a feasible
+# spec, or one that loses the infeasibility proof, fails here.
+check-smoke:
+	dune build bin
+	@for spec in examples/specs/*.spec; do \
+	  case $$spec in \
+	  *infeasible*) \
+	    dune exec -- sekitei check --spec $$spec > /dev/null 2>&1; \
+	    test $$? -eq 2 || \
+	      { echo "check-smoke: $$spec: expected infeasibility (exit 2)"; \
+	        exit 1; }; \
+	    echo "check-smoke: $$spec proven infeasible";; \
+	  *) \
+	    dune exec -- sekitei check --spec $$spec > /dev/null || \
+	      { echo "check-smoke: $$spec: expected a clean report"; exit 1; }; \
+	    echo "check-smoke: $$spec clean";; \
+	  esac; \
+	done
 
 # Regression gate: rerun the tracked scenarios and fail if any gated
 # metric (search_ms, rg_created, slrg_ms, warm_search_ms) regressed

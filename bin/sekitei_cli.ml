@@ -3,6 +3,7 @@
    Subcommands:
      plan      - plan a built-in evaluation scenario or a DSL spec file
      batch     - plan several DSL spec files in parallel (multicore)
+     check     - static preflight analysis (no search); text or JSON
      validate  - check a DSL spec file for well-formedness
      table1 / table2 / figure - regenerate the paper's exhibits
      topology  - generate topologies and export DOT *)
@@ -22,6 +23,9 @@ module Plan = Sekitei_core.Plan
 module Compile = Sekitei_core.Compile
 module Replay = Sekitei_core.Replay
 module Media = Sekitei_domains.Media
+module Diagnostic = Sekitei_util.Diagnostic
+module Preflight = Sekitei_analysis.Preflight
+module Certify = Sekitei_analysis.Certify
 module Scenarios = Sekitei_harness.Scenarios
 module Table2 = Sekitei_harness.Table2
 module Figures = Sekitei_harness.Figures
@@ -120,6 +124,14 @@ let eager_h_arg =
              way; the flag exists for A/B timing of the deferral." in
   Arg.(value & flag & info [ "eager-h" ] ~doc)
 
+let verify_arg =
+  let doc = "Re-validate every emitted plan through the independent \
+             certifier (forward semantic replay plus a bit-exact cost \
+             re-derivation, sharing no code with the planner's own \
+             replay).  A rejected plan fails the run with a \
+             Certification_failed diagnostic — always a planner bug." in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
 let deadline_arg =
   let doc = "Per-request wall-clock deadline in milliseconds.  An \
              expired request stops gracefully with a Deadline_exceeded \
@@ -176,13 +188,14 @@ let scenario_of = function
   | `Large -> Scenarios.large ()
 
 let config_of ?(explain = false) ?(profile_h = false) ?(defer_h = true)
-    ?deadline_ms rg slrg =
+    ?(certify = false) ?deadline_ms rg slrg =
   { Planner.default_config with
     Planner.rg_max_expansions = rg;
     slrg_query_budget = slrg;
     explain;
     profile_h;
     defer_h;
+    certify;
     deadline_ms }
 
 (* ------------------------------------------------------------------ *)
@@ -235,11 +248,11 @@ let report_outcome ?dot_file ?(audit = false) pb (report : Planner.report) =
 
 let plan_cmd =
   let run spec network levels seed rg slrg deadline dot_file audit suggest
-      trace progress flight explain hquality eager_h verbose =
+      trace progress flight explain hquality eager_h verify verbose =
     setup_logs verbose;
     let config =
       config_of ~explain ~profile_h:hquality ~defer_h:(not eager_h)
-        ?deadline_ms:deadline rg slrg
+        ~certify:verify ?deadline_ms:deadline rg slrg
     in
     let telemetry, finish_telemetry = telemetry_of ?flight trace progress in
     let code =
@@ -284,6 +297,7 @@ let plan_cmd =
                   sc.Scenarios.app ~leveling))
     in
     finish_telemetry ();
+    if verify && code = 0 then Format.printf "plan independently certified@.";
     (match flight with
     | Some file when code <> 0 && Sys.file_exists file ->
         Format.printf "flight dump written to %s@." file
@@ -295,7 +309,7 @@ let plan_cmd =
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ rg_budget_arg
       $ slrg_budget_arg $ deadline_arg $ deployment_dot_arg $ audit_arg
       $ suggest_arg $ trace_arg $ progress_arg $ flight_arg $ explain_arg
-      $ hquality_arg $ eager_h_arg $ verbose_arg)
+      $ hquality_arg $ eager_h_arg $ verify_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "plan" ~doc:"Solve a component placement problem") term
 
@@ -317,9 +331,9 @@ let batch_cmd =
     in
     Arg.(value & opt int 0 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let run files jobs rg slrg eager_h verbose =
+  let run files jobs rg slrg eager_h verify verbose =
     setup_logs verbose;
-    let config = config_of ~defer_h:(not eager_h) rg slrg in
+    let config = config_of ~defer_h:(not eager_h) ~certify:verify rg slrg in
     (* Parse every spec up front: a syntax error anywhere aborts the
        batch before any planning starts (exit 2, like plan --spec). *)
     let parsed =
@@ -374,7 +388,7 @@ let batch_cmd =
           worker domain; results print in input order)")
     Term.(
       const run $ files $ jobs_arg $ rg_budget_arg $ slrg_budget_arg
-      $ eager_h_arg $ verbose_arg)
+      $ eager_h_arg $ verify_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* session                                                             *)
@@ -500,7 +514,7 @@ let session_cmd =
     Arg.(
       required & opt (some file) None & info [ "spec"; "s" ] ~docv:"FILE" ~doc)
   in
-  let run spec script rg slrg deadline flight verbose =
+  let run spec script rg slrg deadline flight verify verbose =
     setup_logs verbose;
     match Dsl.load_file spec with
     | exception Dsl.Dsl_error msg ->
@@ -517,7 +531,9 @@ let session_cmd =
                 Format.eprintf "%s:%d: %s@." script line msg;
                 2
             | cmds ->
-                let config = config_of ?deadline_ms:deadline rg slrg in
+                let config =
+                  config_of ~certify:verify ?deadline_ms:deadline rg slrg
+                in
                 let telemetry, finish_telemetry =
                   telemetry_of ?flight None false
                 in
@@ -596,7 +612,7 @@ let session_cmd =
           cache across requests)")
     Term.(
       const run $ spec_req_arg $ script_arg $ rg_budget_arg $ slrg_budget_arg
-      $ deadline_arg $ flight_arg $ verbose_arg)
+      $ deadline_arg $ flight_arg $ verify_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* metrics                                                             *)
@@ -694,6 +710,114 @@ let metrics_cmd =
       const run $ spec_arg $ network_arg $ levels_arg $ seed_arg
       $ rg_budget_arg $ slrg_budget_arg $ deadline_arg $ repeat_arg
       $ format_arg $ check_arg $ verbose_arg)
+
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Static preflight: validate the spec, compile it, and run the
+   structural analyses — never the SLRG/RG search.  Exit 0 clean, 1 when
+   the worst finding is a warning, 2 when any error (the spec is
+   provably infeasible or invalid). *)
+let check_cmd =
+  let format_arg =
+    let doc = "Report format: text (one diagnostic per line) or json." in
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format"; "f" ] ~docv:"FMT" ~doc)
+  in
+  let render format pb diags =
+    (match format with
+    | `Json ->
+        let json =
+          match pb with
+          | Some pb -> Preflight.report_json pb diags
+          | None ->
+              (* Validation failed before compilation: no action counts. *)
+              Sekitei_util.Json.Obj
+                [
+                  ( "errors",
+                    Sekitei_util.Json.Int
+                      (List.length (Diagnostic.errors diags)) );
+                  ( "warnings",
+                    Sekitei_util.Json.Int
+                      (List.length (Diagnostic.warnings diags)) );
+                  ( "diagnostics",
+                    Diagnostic.list_to_json (Diagnostic.by_severity diags) );
+                ]
+        in
+        print_string (Sekitei_util.Json.to_string json ^ "\n")
+    | `Text ->
+        List.iter
+          (fun d -> print_endline (Diagnostic.to_string d))
+          (Diagnostic.by_severity diags);
+        (match pb with
+        | Some pb ->
+            Format.printf "%d leveled action(s); pruned %d dead@."
+              (Array.length pb.Sekitei_core.Problem.actions)
+              pb.Sekitei_core.Problem.pruned_actions
+        | None -> ());
+        Format.printf "%d error(s), %d warning(s)@."
+          (List.length (Diagnostic.errors diags))
+          (List.length (Diagnostic.warnings diags)));
+    Diagnostic.exit_code diags
+  in
+  let run spec network levels seed suggest format verbose =
+    setup_logs verbose;
+    let case =
+      match spec with
+      | Some file -> (
+          match Dsl.load_file file with
+          | exception Dsl.Dsl_error msg ->
+              Format.eprintf "spec error: %s@." msg;
+              Error 2
+          | doc -> (
+              match doc.Dsl.topo with
+              | None ->
+                  Format.eprintf "spec file has no network block@.";
+                  Error 2
+              | Some topo ->
+                  let leveling =
+                    if suggest then Sekitei_spec.Leveling.suggest doc.Dsl.app
+                    else doc.Dsl.leveling
+                  in
+                  Ok (topo, doc.Dsl.app, leveling)))
+      | None ->
+          let sc =
+            match network with
+            | `Large -> Scenarios.large ~seed ()
+            | other -> scenario_of other
+          in
+          let leveling =
+            if suggest then Sekitei_spec.Leveling.suggest sc.Scenarios.app
+            else Media.leveling levels sc.Scenarios.app
+          in
+          Ok (sc.Scenarios.topo, sc.Scenarios.app, leveling)
+    in
+    match case with
+    | Error code -> code
+    | Ok (topo, app, leveling) -> (
+        match Validate.check_diagnostics topo app with
+        | _ :: _ as spec_diags ->
+            (* Invalid specs never reach the compiler, so the preflight
+               passes cannot run; report what the validator found. *)
+            render format None spec_diags
+        | [] ->
+            let pb = Compile.compile topo app leveling in
+            render format (Some pb) (Preflight.check pb))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Static preflight analysis of a specification: spec validation, \
+          dead-action accounting, producer/placement/level-grid checks, \
+          topology cuts and PLRG reachability — proves infeasibility \
+          without running the planner's search (exit 2 = provably \
+          infeasible or invalid, 1 = warnings, 0 = clean)")
+    Term.(
+      const run $ spec_arg $ network_arg $ levels_arg $ seed_arg $ suggest_arg
+      $ format_arg $ verbose_arg)
 
 (* ------------------------------------------------------------------ *)
 (* validate                                                            *)
@@ -843,8 +967,12 @@ let main =
     (Cmd.info "sekitei" ~version:"1.0.0"
        ~doc:"Resource-aware deployment planning for component-based applications")
     [
-      plan_cmd; batch_cmd; session_cmd; metrics_cmd; validate_cmd; table1_cmd;
-      table2_cmd; figure_cmd; topology_cmd;
+      plan_cmd; batch_cmd; session_cmd; metrics_cmd; check_cmd; validate_cmd;
+      table1_cmd; table2_cmd; figure_cmd; topology_cmd;
     ]
 
-let () = exit (Cmd.eval' main)
+let () =
+  (* Make config.certify (--verify) live: hook the independent certifier
+     into the core session without a core->analysis dependency. *)
+  Certify.install ();
+  exit (Cmd.eval' main)

@@ -1,0 +1,92 @@
+(* Proving infeasibility without searching.
+
+   A capacity-starved diamond: the camera's stream has two routes to the
+   viewer, but the encoder every route needs demands 100 CPU units on
+   nodes that offer 40.  Grounding emits no Encode placement anywhere,
+   the encoded stream E becomes unproducible, and dead-action pruning
+   cascades through everything downstream — so the static preflight
+   analyzer can return a proof of infeasibility (error diagnostics with
+   stable SKT codes) without ever starting the SLRG/RG search.
+
+   The same analysis is available from the command line:
+     sekitei check --spec examples/specs/infeasible.spec
+
+   Run with: dune exec examples/infeasible.exe *)
+
+let spec =
+  {|
+interface V {
+  property ibw degradable;
+  cross ibw := min(ibw, link.lbw);
+  consume link.lbw -= min(ibw, link.lbw);
+  cost 1 + ibw / 10;
+  levels ibw: 40, 50;
+}
+
+interface E {
+  property ibw degradable;
+  cross ibw := min(ibw, link.lbw);
+  consume link.lbw -= min(ibw, link.lbw);
+  cost 1 + ibw / 10;
+  levels ibw: 8, 10;
+}
+
+component Camera {
+  provides V;
+  effect V.ibw := 50;
+  anchored;
+}
+
+component Encode {
+  requires V;
+  provides E;
+  effect E.ibw := V.ibw / 5;
+  consume node.cpu -= 100;
+  cost 1 + V.ibw / 10;
+}
+
+component Viewer {
+  requires E;
+  condition E.ibw >= 8;
+  cost 1;
+}
+
+network {
+  node src cpu 40;
+  node left cpu 40;
+  node right cpu 40;
+  node dst cpu 40;
+  link src -- left lan lbw 100;
+  link src -- right lan lbw 100;
+  link left -- dst wan lbw 10;
+  link right -- dst wan lbw 10;
+}
+
+deploy {
+  place Camera on src;
+  goal Viewer on dst;
+}
+|}
+
+module Dsl = Sekitei_spec.Dsl
+module Compile = Sekitei_core.Compile
+module Problem = Sekitei_core.Problem
+module Preflight = Sekitei_analysis.Preflight
+module Diagnostic = Sekitei_util.Diagnostic
+
+let () =
+  let doc = Dsl.parse_document spec in
+  let topo = Option.get doc.Dsl.topo in
+  let pb = Compile.compile topo doc.Dsl.app doc.Dsl.leveling in
+  Format.printf "compiled %d leveled action(s); %d proven dead and pruned@."
+    (Array.length pb.Problem.actions) pb.Problem.pruned_actions;
+  let diags = Preflight.check pb in
+  List.iter
+    (fun d -> print_endline (Diagnostic.to_string d))
+    (Diagnostic.by_severity diags);
+  match Diagnostic.errors diags with
+  | [] -> Format.printf "no infeasibility proof found; a search could run@."
+  | _ :: _ ->
+      Format.printf
+        "provably infeasible: the goal cannot be reached on this network — \
+         no search was needed@."

@@ -1,0 +1,26 @@
+(** Independent plan certifier: forward replay of an emitted plan
+    against the compiled {!Sekitei_core.Problem} semantics, plus a
+    bit-exact re-derivation of the plan's admissible cost bound from the
+    specification's cost formulae.
+
+    The checker is written against the Problem/Model/Expr definitions
+    alone and deliberately shares no code with the planner's own replay
+    machinery ({!Sekitei_core.Replay}) — a bug there cannot vouch for
+    itself here.  Rejections carry the [SKT2xx] codes documented in
+    {!Sekitei_util.Diagnostic}. *)
+
+(** [check pb plan] returns [[]] iff the plan certifies; otherwise the
+    first rejection encountered during forward replay (check order:
+    topology liveness, logical preconditions, stream throttling,
+    conditions, checked resource levels, consumption, outputs,
+    per-action cost, then goals and the total cost bound). *)
+val check :
+  Sekitei_core.Problem.t -> Sekitei_core.Plan.t ->
+  Sekitei_util.Diagnostic.t list
+
+(** [ok pb plan] = [check pb plan = []]. *)
+val ok : Sekitei_core.Problem.t -> Sekitei_core.Plan.t -> bool
+
+(** Register this checker as the {!Sekitei_core.Certifier} hook, making
+    [config.certify] (and [--verify]) live.  Idempotent. *)
+val install : unit -> unit

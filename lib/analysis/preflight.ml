@@ -1,0 +1,259 @@
+(* Static preflight over a compiled problem: structural infeasibility
+   and suspicious-specification checks that need no search.  See the
+   code table in {!Sekitei_util.Diagnostic}. *)
+
+module I = Sekitei_util.Interval
+module D = Sekitei_util.Diagnostic
+module Uf = Sekitei_util.Union_find
+module Topology = Sekitei_network.Topology
+module Model = Sekitei_spec.Model
+module Problem = Sekitei_core.Problem
+module Prop = Sekitei_core.Prop
+module Action = Sekitei_core.Action
+module Plrg = Sekitei_core.Plrg
+
+let node_name (pb : Problem.t) n = (Topology.get_node pb.topo n).Topology.node_name
+let iface_name (pb : Problem.t) i = pb.ifaces.(i).Model.iface_name
+let comp_name (pb : Problem.t) c = pb.comps.(c).Model.comp_name
+
+(* Goal propositions decoded to (comp, node); [Available] goals were
+   rewritten into sink components by compilation, so [Placed] is total. *)
+let goal_placements (pb : Problem.t) =
+  Array.to_list pb.goal_props
+  |> List.filter_map (fun pid ->
+         match Prop.of_id pb.props pid with
+         | Prop.Placed (c, n) -> Some (c, n)
+         | Prop.Avail _ -> None)
+
+(* SKT101: interfaces nothing can produce — no pre-placed source and no
+   placeable providing component.  Merely suspicious (the interface may
+   be irrelevant to the goals), so a warning; goal-relevant cases are
+   errors via the PLRG check. *)
+let check_producers (pb : Problem.t) =
+  let produced = Array.make (Array.length pb.ifaces) false in
+  List.iter
+    (fun (s : Problem.source) -> produced.(s.src_iface) <- true)
+    pb.sources;
+  Array.iter
+    (fun (c : Model.component) ->
+      if c.Model.placeable then
+        List.iter
+          (fun prov -> produced.(Problem.iface_index pb prov) <- true)
+          c.Model.provides)
+    pb.comps;
+  let out = ref [] in
+  Array.iteri
+    (fun i p ->
+      if not p then
+        out :=
+          D.warning ~code:"SKT101"
+            ~loc:(Printf.sprintf "interface %s" (iface_name pb i))
+            "no pre-placed source and no placeable component produces it"
+          :: !out)
+    produced;
+  List.rev !out
+
+(* SKT102/SKT106: components with no resource-feasible leveled placement
+   left after grounding and pruning.  For a goal component the absence on
+   its goal node is a proof of infeasibility (SKT106, error); elsewhere
+   it is a warning (SKT102). *)
+let check_placements (pb : Problem.t) =
+  let n_comps = Array.length pb.comps in
+  let anywhere = Array.make n_comps false in
+  let at = Hashtbl.create 16 in
+  Array.iter
+    (fun (a : Action.t) ->
+      match a.Action.kind with
+      | Action.Place { comp; node } ->
+          anywhere.(comp) <- true;
+          Hashtbl.replace at (comp, node) ()
+      | Action.Cross _ -> ())
+    pb.actions;
+  let goals = goal_placements pb in
+  let goal_comps = List.map fst goals in
+  let out = ref [] in
+  List.iter
+    (fun (c, n) ->
+      if not (Hashtbl.mem at (c, n)) then
+        out :=
+          D.error ~code:"SKT106"
+            ~loc:(Printf.sprintf "goal placed(%s,%s)" (comp_name pb c) (node_name pb n))
+            ~evidence:
+              [
+                ( "placements_elsewhere",
+                  string_of_bool anywhere.(c) );
+              ]
+            "no resource-feasible leveled placement of the goal component \
+             on its goal node survives grounding"
+          :: !out)
+    goals;
+  Array.iteri
+    (fun c (comp : Model.component) ->
+      if
+        comp.Model.placeable && (not anywhere.(c))
+        && not (List.mem c goal_comps)
+      then
+        out :=
+          D.warning ~code:"SKT102"
+            ~loc:(Printf.sprintf "component %s" comp.Model.comp_name)
+            "no resource-feasible leveled placement on any node survives \
+             grounding (demand exceeds every capacity at every level)"
+          :: !out)
+    pb.comps;
+  List.rev !out
+
+(* SKT103: interface level grids that do not tile [0, inf).  The DSL's
+   cutpoint constructor cannot produce these, but hand-built problems
+   can; gaps and overlaps are suspicious rather than provably infeasible
+   (plans simply never use the missing values). *)
+let check_level_grids (pb : Problem.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun i lvls ->
+      let loc = Printf.sprintf "interface %s" (iface_name pb i) in
+      let n = Array.length lvls in
+      if n > 0 then begin
+        if I.lo lvls.(0) > 0. then
+          out :=
+            D.warning ~code:"SKT103" ~loc
+              ~evidence:[ ("first_level", I.to_string lvls.(0)) ]
+              "level grid starts above 0: smaller values have no level"
+            :: !out;
+        for k = 0 to n - 2 do
+          let hi = I.hi lvls.(k) and lo = I.lo lvls.(k + 1) in
+          if hi < lo then
+            out :=
+              D.warning ~code:"SKT103" ~loc
+                ~evidence:
+                  [ ("gap", Printf.sprintf "[%g,%g)" hi lo) ]
+                "level grid has a gap between consecutive levels"
+              :: !out
+          else if hi > lo then
+            out :=
+              D.warning ~code:"SKT103" ~loc
+                ~evidence:
+                  [
+                    ("levels",
+                     I.to_string lvls.(k) ^ " and " ^ I.to_string lvls.(k + 1));
+                  ]
+                "level grid has overlapping levels: values map to two levels"
+              :: !out
+        done;
+        if Float.is_finite (I.hi lvls.(n - 1)) then
+          out :=
+            D.warning ~code:"SKT103" ~loc
+              ~evidence:[ ("top_level", I.to_string lvls.(n - 1)) ]
+              "level grid tops out at a finite value: larger values have \
+               no level"
+            :: !out
+      end)
+    pb.iface_levels;
+  List.rev !out
+
+(* Interfaces producible using only hosts from [region] (or any alive
+   node when [region] is [None]): seed with pre-placed sources, then a
+   fixpoint over placeable components that can be hosted there. *)
+let producible_ifaces (pb : Problem.t) region =
+  let in_region n =
+    Topology.node_alive pb.topo n
+    && match region with None -> true | Some f -> f n
+  in
+  let achieved = Array.make (Array.length pb.ifaces) false in
+  List.iter
+    (fun (s : Problem.source) ->
+      if in_region s.src_node then achieved.(s.src_iface) <- true)
+    pb.sources;
+  let hostable c =
+    match pb.comp_allowed_node.(c) with
+    | Some only -> in_region only
+    | None ->
+        let n = Topology.node_count pb.topo in
+        let rec any k = k < n && (in_region k || any (k + 1)) in
+        any 0
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iteri
+      (fun c (comp : Model.component) ->
+        if comp.Model.placeable && hostable c then
+          let ready =
+            List.for_all
+              (fun r -> achieved.(Problem.iface_index pb r))
+              comp.Model.requires
+          in
+          if ready then
+            List.iter
+              (fun prov ->
+                let o = Problem.iface_index pb prov in
+                if not achieved.(o) then begin
+                  achieved.(o) <- true;
+                  changed := true
+                end)
+              comp.Model.provides)
+      pb.comps
+  done;
+  achieved
+
+(* SKT104: a topology cut separates every producer of an interface a
+   goal component needs from the goal node.  Connected components are
+   computed with union-find over the live links; an interface is only
+   reported here when it is producible on the network as a whole —
+   interfaces nothing can produce anywhere are SKT101/SKT105 territory. *)
+let check_topology_cuts (pb : Problem.t) =
+  let n = Topology.node_count pb.topo in
+  let uf = Uf.create n in
+  Array.iter
+    (fun (l : Topology.link) ->
+      let a, b = l.Topology.ends in
+      ignore (Uf.union uf a b))
+    (Topology.links pb.topo);
+  let globally = producible_ifaces pb None in
+  let out = ref [] in
+  List.iter
+    (fun (c, gn) ->
+      let region = Some (fun k -> Uf.same uf k gn) in
+      let local = lazy (producible_ifaces pb region) in
+      List.iter
+        (fun r ->
+          let i = Problem.iface_index pb r in
+          if globally.(i) && not (Lazy.force local).(i) then
+            out :=
+              D.error ~code:"SKT104"
+                ~loc:
+                  (Printf.sprintf "goal placed(%s,%s)" (comp_name pb c)
+                     (node_name pb gn))
+                ~evidence:[ ("interface", iface_name pb i) ]
+                "every producer of a required interface lies across a \
+                 topology cut from the goal node"
+              :: !out)
+        pb.comps.(c).Model.requires)
+    (goal_placements pb);
+  List.rev !out
+
+(* SKT105: goal propositions the PLRG relaxation cannot reach — the
+   planner's own admissible bound already proves these plans impossible,
+   before any search. *)
+let check_plrg_goals (pb : Problem.t) plrg =
+  List.map
+    (fun pid ->
+      D.error ~code:"SKT105"
+        ~loc:(Printf.sprintf "goal %s" (Problem.prop_label pb pid))
+        "unreachable in the PLRG relaxation: no admissible support chain \
+         from the initial state")
+    (Plrg.unreachable_goals plrg)
+
+let check ?plrg (pb : Problem.t) =
+  let plrg = match plrg with Some p -> p | None -> Plrg.build pb in
+  check_producers pb @ check_placements pb @ check_level_grids pb
+  @ check_topology_cuts pb @ check_plrg_goals pb plrg
+
+let report_json (pb : Problem.t) diags =
+  Sekitei_util.Json.Obj
+    [
+      ("actions", Sekitei_util.Json.Int (Array.length pb.actions));
+      ("pruned_actions", Sekitei_util.Json.Int pb.pruned_actions);
+      ("errors", Sekitei_util.Json.Int (List.length (D.errors diags)));
+      ("warnings", Sekitei_util.Json.Int (List.length (D.warnings diags)));
+      ("diagnostics", D.list_to_json (D.by_severity diags));
+    ]

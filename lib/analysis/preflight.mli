@@ -1,0 +1,39 @@
+(** Static preflight analysis of a compiled problem — structural
+    infeasibility proofs and suspicious-specification warnings, without
+    running the SLRG/RG search.
+
+    Checks performed (codes from {!Sekitei_util.Diagnostic}):
+
+    - [SKT101] (warning) interfaces with no pre-placed source and no
+      placeable producing component;
+    - [SKT102] (warning) components with no resource-feasible leveled
+      placement on any node — their demand exceeds every capacity at
+      every level, judged on the same interval infima the compiler's
+      admissible cost bounds use;
+    - [SKT103] (warning) interface level grids that do not tile
+      [[0, inf)] — gaps, overlaps, a positive first cutpoint or a finite
+      top (unreachable through the DSL, possible on hand-built problems);
+    - [SKT104] (error) a topology cut — union-find over the live links —
+      separating every producer of a required interface from a goal
+      node, for interfaces producible on the network as a whole;
+    - [SKT105] (error) goal propositions unreachable in the PLRG
+      relaxation;
+    - [SKT106] (error) goal components with no feasible placement
+      action on their goal node.
+
+    Dead leveled actions are not diagnosed here: {!Sekitei_core.Compile}
+    already prunes them during compilation and reports the count as
+    [Problem.pruned_actions] (the [analysis.pruned_actions] counter). *)
+
+(** [check pb] returns all diagnostics, in check order (use
+    {!Sekitei_util.Diagnostic.by_severity} to sort errors first).
+    [plrg] avoids rebuilding a PLRG the caller already has. *)
+val check :
+  ?plrg:Sekitei_core.Plrg.t -> Sekitei_core.Problem.t ->
+  Sekitei_util.Diagnostic.t list
+
+(** Machine-readable report: action/pruned counts, error/warning
+    totals, and the diagnostics sorted errors-first. *)
+val report_json :
+  Sekitei_core.Problem.t -> Sekitei_util.Diagnostic.t list ->
+  Sekitei_util.Json.t

@@ -93,7 +93,7 @@ let no_reuse =
     reuse_cross = (fun ~iface:_ ~link_id:_ ~src:_ ~dst:_ -> None);
   }
 
-let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
+let compile_with ~adjust ~telemetry ~deadline ~prune ~(reuse : reuse) topo
     (app0 : Model.app) leveling =
   let app, restrictions = rewrite_goals app0 in
   let ifaces = Array.of_list app.interfaces in
@@ -582,30 +582,10 @@ let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
     (Telemetry.end_span telemetry sp_leveling
        ~attrs:[ ("actions", Telemetry.Int (Array.length actions)) ]);
 
-  (* ---------------- supports ---------------- *)
-  let supports = Array.make (Prop.count props) [] in
-  (* Iterate in reverse so each support list ends up in ascending action
-     id order (determinism). *)
-  for k = Array.length actions - 1 downto 0 do
-    let a = actions.(k) in
-    Array.iter
-      (fun pid -> supports.(pid) <- a.Action.act_id :: supports.(pid))
-      a.Action.add_closure
-  done;
-
-  let goal_props =
-    Array.of_list
-      (List.map
-         (function
-           | Model.Placed (name, node) ->
-               Prop.placed_id props ~comp:(comp_idx name) ~node
-           | Model.Available _ -> assert false (* rewritten above *))
-         app.goals)
-  in
-
   (* Network-ignorant maximum achievable value per interface: source
      capacities pushed through every component effect to a fixpoint (the
-     paper's greedy "maximum possible utilization"). *)
+     paper's greedy "maximum possible utilization").  Computed before the
+     dead-action pruning below, which consumes it. *)
   let iface_max = Array.make (Array.length ifaces) Float.neg_infinity in
   List.iter
     (fun (s : Problem.source) ->
@@ -661,6 +641,84 @@ let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
       iface_max;
   let iface_max = Array.map (fun v -> Float.max v 0.) iface_max in
 
+  (* ---------------- dead-action pruning ---------------- *)
+  (* [iface_max] is the same admissible supply bound Regression replay
+     seeds unknown streams with: a leveled action assuming an input level
+     whose infimum exceeds it can never fire, and neither can an action
+     whose preconditions only such actions could have produced (relaxed
+     forward reachability over the survivors).  Pruning them here shrinks
+     every downstream graph.  Survivors keep their relative order and are
+     renumbered sequentially, so the result is exactly what grounding
+     without the dead schemas would have produced. *)
+  let ground_actions = actions in
+  let actions, pruned_actions =
+    if not prune then (actions, 0)
+    else begin
+      let n = Array.length actions in
+      let live = Array.make n true in
+      Array.iteri
+        (fun k (a : Action.t) ->
+          if
+            Array.exists
+              (fun (i, ivl) -> I.lo ivl > iface_max.(i))
+              a.Action.in_levels
+          then live.(k) <- false)
+        actions;
+      let producible = Array.copy init in
+      let applied = Array.make n false in
+      let fired = ref true in
+      while !fired do
+        fired := false;
+        Array.iteri
+          (fun k (a : Action.t) ->
+            if
+              live.(k) && (not applied.(k))
+              && Array.for_all (fun p -> producible.(p)) a.Action.pre
+            then begin
+              applied.(k) <- true;
+              fired := true;
+              Array.iter (fun p -> producible.(p) <- true) a.Action.add_closure
+            end)
+          actions
+      done;
+      for k = 0 to n - 1 do
+        if live.(k) && not applied.(k) then live.(k) <- false
+      done;
+      let survivors = ref [] in
+      for k = n - 1 downto 0 do
+        if live.(k) then survivors := actions.(k) :: !survivors
+      done;
+      match Array.of_list !survivors with
+      | kept when Array.length kept = n -> (actions, 0)
+      | kept ->
+          Array.iteri
+            (fun k a -> kept.(k) <- { a with Action.act_id = k })
+            kept;
+          (kept, n - Array.length kept)
+    end
+  in
+
+  (* ---------------- supports ---------------- *)
+  let supports = Array.make (Prop.count props) [] in
+  (* Iterate in reverse so each support list ends up in ascending action
+     id order (determinism). *)
+  for k = Array.length actions - 1 downto 0 do
+    let a = actions.(k) in
+    Array.iter
+      (fun pid -> supports.(pid) <- a.Action.act_id :: supports.(pid))
+      a.Action.add_closure
+  done;
+
+  let goal_props =
+    Array.of_list
+      (List.map
+         (function
+           | Model.Placed (name, node) ->
+               Prop.placed_id props ~comp:(comp_idx name) ~node
+           | Model.Available _ -> assert false (* rewritten above *))
+         app.goals)
+  in
+
   {
     Problem.topo;
     app;
@@ -677,13 +735,18 @@ let compile_with ~adjust ~telemetry ~deadline ~(reuse : reuse) topo
     goal_props;
     comp_allowed_node;
     iface_max;
+    pruned_actions;
+    (* Share the one array when pruning removed nothing. *)
+    ground_actions =
+      (if pruned_actions = 0 then actions else ground_actions);
   }
 
 let no_adjust ~comp:_ ~node:_ = 0.
 
 let compile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
-    ?(deadline = Deadline.none) topo app leveling =
-  compile_with ~adjust ~telemetry ~deadline ~reuse:no_reuse topo app leveling
+    ?(deadline = Deadline.none) ?(prune = true) topo app leveling =
+  compile_with ~adjust ~telemetry ~deadline ~prune ~reuse:no_reuse topo app
+    leveling
 
 (* Incremental recompilation after a topology delta.  The old problem's
    actions are indexed by grounding group — (comp, node) for placements,
@@ -704,6 +767,13 @@ let compile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
 let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
     ?(deadline = Deadline.none) ~(old : Problem.t) ~node_touched
     ~link_touched topo app leveling =
+  (* Reuse groups are built from the *pre-prune* ground set: deadness is
+     a global property (it flows through [iface_max] and the relaxed
+     reachability cascade), so a delta at one site can revive an action
+     pruned at an untouched one.  Serving the full ground groups keeps
+     every candidate on the table, and the fresh compile's own prune
+     pass re-proves deadness over the assembled set — both the kill and
+     the revive direction land exactly where a cold compile would. *)
   let place_groups = Hashtbl.create 256 in
   let cross_groups = Hashtbl.create 256 in
   let push tbl key a =
@@ -716,7 +786,7 @@ let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
       | Action.Place { comp; node } -> push place_groups (comp, node) a
       | Action.Cross { iface; link; src; dst } ->
           push cross_groups (iface, link, src, dst) a)
-    old.Problem.actions;
+    old.Problem.ground_actions;
   (* Restore original emission order within each group. *)
   Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) place_groups;
   Hashtbl.filter_map_inplace (fun _ l -> Some (List.rev l)) cross_groups;
@@ -744,5 +814,9 @@ let recompile ?(adjust = no_adjust) ?(telemetry = Telemetry.null)
             | None -> None);
     }
   in
-  let pb = compile_with ~adjust ~telemetry ~deadline ~reuse topo app leveling in
-  (pb, Array.length old.Problem.actions - !reused)
+  let pb =
+    compile_with ~adjust ~telemetry ~deadline ~prune:true ~reuse topo app
+      leveling
+  in
+  (* Invalidation is counted against the ground set the groups serve. *)
+  (pb, Array.length old.Problem.ground_actions - !reused)

@@ -32,6 +32,16 @@ exception Compile_error of string
     [deadline] is polled once per grounding group; on expiry compilation
     raises [Sekitei_util.Deadline.Expired "compile"].
 
+    [prune] (default true) removes provably dead leveled actions after
+    grounding: actions assuming an input level whose infimum exceeds the
+    interface's achievable maximum ([iface_max], the same admissible
+    bound Regression replay seeds unknown streams with), plus any action
+    whose preconditions only such actions could have produced (relaxed
+    forward reachability).  The removed count is surfaced as
+    [Problem.pruned_actions]; survivors keep their relative order and
+    are renumbered, so plans are unaffected.  Pass [~prune:false] to
+    keep the raw grounding (used by tests comparing the two).
+
     @raise Compile_error on inconsistent specifications (pre-placed
     components with requirements, violated initial conditions, negative
     cost bounds). *)
@@ -39,6 +49,7 @@ val compile :
   ?adjust:(comp:string -> node:int -> float) ->
   ?telemetry:Sekitei_telemetry.Telemetry.t ->
   ?deadline:Sekitei_util.Deadline.t ->
+  ?prune:bool ->
   Sekitei_network.Topology.t ->
   Sekitei_spec.Model.app ->
   Sekitei_spec.Leveling.t ->

@@ -14,6 +14,7 @@ type config = Session.config = {
   profile_h : bool;
   defer_h : bool;
   deadline_ms : float option;
+  certify : bool;
 }
 
 let default_config = Session.default_config
@@ -28,6 +29,7 @@ type failure_reason = Session.failure_reason =
       expansions : int;
       best_f : float option;
     }
+  | Certification_failed of string
 
 type stats = Session.stats = {
   total_actions : int;

@@ -45,6 +45,11 @@ type config = Session.config = {
       (** per-request wall-clock budget (monotonic {!Sekitei_util.Timer}
           time, polled cooperatively by every phase); [None] (default)
           never expires.  See {!Session} *)
+  certify : bool;
+      (** re-validate every emitted plan through the installed
+          {!Certifier} hook (default [false]; no-op until
+          [Sekitei_analysis.Certify.install] has run).  A rejected plan
+          becomes [Error (Certification_failed _)] *)
 }
 
 val default_config : config
@@ -67,6 +72,9 @@ type failure_reason = Session.failure_reason =
           (** admissible lower bound when the RG frontier was reached —
               the same evidence a {!Search_limit} carries *)
     }  (** the request's [config.deadline_ms] expired first *)
+  | Certification_failed of string
+      (** [config.certify] was set and the independent certifier
+          rejected the emitted plan — always a planner bug *)
 
 type stats = Session.stats = {
   total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)

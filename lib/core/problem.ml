@@ -25,6 +25,8 @@ type t = {
   goal_props : int array;
   comp_allowed_node : int option array;
   iface_max : float array;
+  pruned_actions : int;
+  ground_actions : Action.t array;
 }
 
 let index_of name proj arr what =

@@ -35,6 +35,18 @@ type t = {
       (** network-ignorant upper bound on each interface's primary property
           (the paper's "maximum possible utilization"): source capacities
           pushed through component effects to a fixpoint *)
+  pruned_actions : int;
+      (** leveled actions the compiler proved dead and removed: their
+          input level's infimum exceeds the interface's achievable
+          maximum, or a precondition became unproducible as a result
+          (surfaced as the [analysis.pruned_actions] counter) *)
+  ground_actions : Action.t array;
+      (** the full grounded action set {e before} dead-action pruning,
+          in emission order with pre-prune ids — physically [actions]
+          when nothing was pruned.  Only {!Compile.recompile} reads it:
+          reuse groups must carry every instance of an untouched site,
+          dead ones included, because a delta elsewhere can revive them
+          (the fresh compile re-proves deadness from scratch) *)
 }
 
 val iface_index : t -> string -> int

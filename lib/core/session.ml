@@ -43,6 +43,7 @@ type config = {
   profile_h : bool;
   defer_h : bool;
   deadline_ms : float option;
+  certify : bool;
 }
 
 let default_config =
@@ -54,6 +55,7 @@ let default_config =
     profile_h = false;
     defer_h = true;
     deadline_ms = None;
+    certify = false;
   }
 
 type failure_reason =
@@ -66,6 +68,7 @@ type failure_reason =
       expansions : int;
       best_f : float option;
     }
+  | Certification_failed of string
 
 type stats = {
   total_actions : int;
@@ -192,6 +195,9 @@ let pp_failure fmt = function
       match best_f with
       | Some f -> Format.fprintf fmt " (best open bound %g)" f
       | None -> ())
+  | Certification_failed reason ->
+      Format.fprintf fmt "emitted plan failed independent certification: %s"
+        reason
 
 let pp_stats fmt s =
   Format.fprintf fmt
@@ -314,8 +320,11 @@ let build_state t ~deadline =
         ]
   in
   Log.info (fun m ->
-      m "compiled: %d leveled actions, %d propositions" total_actions
-        (Prop.count pb.Problem.props));
+      m "compiled: %d leveled actions, %d propositions (%d pruned dead)"
+        total_actions
+        (Prop.count pb.Problem.props)
+        pb.Problem.pruned_actions);
+  Registry.count t.metrics "analysis.pruned_actions" pb.Problem.pruned_actions;
   (* The search clock starts before the PLRG build — search_ms has always
      covered plrg + slrg + rg (Table 2 col 9, right). *)
   let t_search = Timer.start () in
@@ -656,14 +665,26 @@ let plan_exn t =
                     m "solution: %d actions, cost bound %g, realized %g"
                       (List.length tail) cost_lb metrics.Replay.realized_cost);
                 let plan = { Plan.steps = tail; cost_lb; metrics } in
-                let explanation =
-                  if config.explain then
-                    match Explain.explain pb plan with
-                    | Ok e -> Some e
-                    | Error _ -> None
-                  else None
+                let certified =
+                  if config.certify then Certifier.run pb plan else Ok ()
                 in
-                finish ~phases ?explanation ?hquality (Ok plan) stats
+                (match certified with
+                | Error reason ->
+                    Registry.count t.metrics "analysis.certify_failed" 1;
+                    finish ~phases ?hquality
+                      (Error (Certification_failed reason))
+                      stats
+                | Ok () ->
+                    if config.certify then
+                      Registry.count t.metrics "analysis.certified_plans" 1;
+                    let explanation =
+                      if config.explain then
+                        match Explain.explain pb plan with
+                        | Ok e -> Some e
+                        | Error _ -> None
+                      else None
+                    in
+                    finish ~phases ?explanation ?hquality (Ok plan) stats)
             | Rg.Exhausted ->
                 finish ~phases ?hquality (Error Resource_exhausted) stats
             | Rg.Budget_exceeded { expansions; best_f; frontier } ->

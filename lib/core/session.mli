@@ -62,6 +62,13 @@ type config = {
   deadline_ms : float option;
       (** per-request wall-clock budget (monotonic); [None] (default)
           never expires *)
+  certify : bool;
+      (** re-validate every emitted plan through the installed
+          {!Certifier} hook (default [false]; a no-op until an
+          implementation is installed — see
+          [Sekitei_analysis.Certify.install]).  A rejected plan turns
+          the request into [Error (Certification_failed _)] — the
+          fail-loud mode for debug and test builds. *)
 }
 
 val default_config : config
@@ -83,6 +90,10 @@ type failure_reason =
       best_f : float option;
           (** admissible lower bound when the RG frontier was reached *)
     }
+  | Certification_failed of string
+      (** [config.certify] was set and the independent certifier
+          rejected the emitted plan — always a planner bug; carries the
+          rendered diagnostic *)
 
 type stats = {
   total_actions : int;  (** Table 2 col 5: leveled actions after pruning *)

@@ -15,6 +15,8 @@ module Domain_pool = Sekitei_util.Domain_pool
 module Histogram = Sekitei_util.Histogram
 module Telemetry = Sekitei_telemetry.Telemetry
 module Registry = Sekitei_telemetry.Registry
+module Certify = Sekitei_analysis.Certify
+module Diagnostic = Sekitei_util.Diagnostic
 
 type record = {
   scenario : string;
@@ -81,6 +83,23 @@ let measure ?config ?(repeat = 1) ?(warm = false) ?(metrics_armed = true)
      figure, which GC state can perturb) take the median — one noisy
      run out of three no longer moves the checked-in record. *)
   let first = List.hd runs in
+  (* Every benchmarked plan is independently certified, outside the
+     timed runs — a perf record for a plan the certifier rejects would
+     be tracking a planner bug, not a planner. *)
+  (match first.Planner.result with
+  | Ok p -> (
+      let pb =
+        Sekitei_core.Compile.compile sc.Scenarios.topo sc.Scenarios.app
+          leveling
+      in
+      match Certify.check pb p with
+      | [] -> ()
+      | d :: _ ->
+          failwith
+            (Printf.sprintf "bench %s-%s: plan failed certification: %s"
+               sc.Scenarios.name (Media.scenario_name level)
+               (Diagnostic.to_string d)))
+  | Error _ -> ());
   let s = first.Planner.stats in
   let med f = median (List.map f runs) in
   (* Warm timings come from a {!Planner.Session}: one cold plan compiles

@@ -1,5 +1,6 @@
 module Expr = Sekitei_expr.Expr
 module Topology = Sekitei_network.Topology
+module D = Sekitei_util.Diagnostic
 
 type issue = { where : string; what : string }
 
@@ -11,9 +12,12 @@ let split_var v =
       Some (String.sub v 0 dot, String.sub v (dot + 1) (String.length v - dot - 1))
   | None -> None
 
-let check topo (app : Model.app) =
-  let issues = ref [] in
-  let report where what = issues := { where; what } :: !issues in
+(* All validation findings are errors: an invalid spec never reaches the
+   compiler ([check_exn] raises on any of them).  Codes follow the SKT0xx
+   block documented in {!Sekitei_util.Diagnostic}. *)
+let check_diagnostics topo (app : Model.app) =
+  let diags = ref [] in
+  let report ~code where what = diags := D.make D.Error ~code ~loc:where what :: !diags in
   let node_resources = Topology.node_resource_names topo in
   (* A topology without links defines no link resources at all; treating
      every cross formula as dangling would reject otherwise-fine specs, so
@@ -27,7 +31,8 @@ let check topo (app : Model.app) =
     let sorted = List.sort compare names in
     let rec scan = function
       | a :: (b :: _ as rest) ->
-          if String.equal a b then report where (Printf.sprintf "duplicate %s %s" what a);
+          if String.equal a b then
+            report ~code:"SKT001" where (Printf.sprintf "duplicate %s %s" what a);
           scan rest
       | _ -> ()
     in
@@ -61,18 +66,20 @@ let check topo (app : Model.app) =
     (fun (i : Model.iface) ->
       let where = "interface " ^ i.iface_name in
       dup (List.map (fun p -> p.Model.prop_name) i.properties) "property" where;
-      if i.properties = [] then report where "no properties";
+      if i.properties = [] then report ~code:"SKT004" where "no properties";
       let check_vars what e =
         List.iter
           (fun v ->
             if not (cross_var_ok i v) then
-              report where (Printf.sprintf "%s references unknown variable %s" what v))
+              report ~code:"SKT002" where
+                (Printf.sprintf "%s references unknown variable %s" what v))
           (Expr.vars e)
       in
       List.iter
         (fun (p, e) ->
           if Model.find_property i p = None then
-            report where (Printf.sprintf "cross transform targets unknown property %s" p);
+            report ~code:"SKT004" where
+              (Printf.sprintf "cross transform targets unknown property %s" p);
           check_vars "cross transform" e;
           (* Endpoint interval evaluation requires monotone transforms. *)
           List.iter
@@ -83,7 +90,7 @@ let check topo (app : Model.app) =
                   match Expr.monotonicity e v with
                   | Expr.Increasing | Expr.Constant | Expr.Decreasing -> ()
                   | Expr.Unknown ->
-                      report where
+                      report ~code:"SKT003" where
                         (Printf.sprintf
                            "cross transform for %s is not provably monotone in %s" p v)))
             (Expr.vars e))
@@ -91,7 +98,8 @@ let check topo (app : Model.app) =
       List.iter
         (fun (r, e) ->
           if not (link_resource_ok r) then
-            report where (Printf.sprintf "consumes unknown link resource %s" r);
+            report ~code:"SKT004" where
+              (Printf.sprintf "consumes unknown link resource %s" r);
           check_vars "cross consumption" e)
         i.cross_consumes;
       List.iter
@@ -99,7 +107,7 @@ let check topo (app : Model.app) =
           List.iter
             (fun v ->
               if not (cross_var_ok i v) then
-                report where
+                report ~code:"SKT002" where
                   (Printf.sprintf "cross condition references unknown variable %s" v))
             (Expr.cond_vars c))
         i.cross_conditions;
@@ -112,18 +120,21 @@ let check topo (app : Model.app) =
       List.iter
         (fun i ->
           if not (List.mem i iface_names) then
-            report where (Printf.sprintf "requires unknown interface %s" i))
+            report ~code:"SKT004" where
+              (Printf.sprintf "requires unknown interface %s" i))
         c.requires;
       List.iter
         (fun i ->
           if not (List.mem i iface_names) then
-            report where (Printf.sprintf "provides unknown interface %s" i))
+            report ~code:"SKT004" where
+              (Printf.sprintf "provides unknown interface %s" i))
         c.provides;
       let check_vars what e =
         List.iter
           (fun v ->
             if not (component_var_ok c v) then
-              report where (Printf.sprintf "%s references unknown variable %s" what v))
+              report ~code:"SKT002" where
+                (Printf.sprintf "%s references unknown variable %s" what v))
           (Expr.vars e)
       in
       List.iter
@@ -131,18 +142,18 @@ let check topo (app : Model.app) =
           List.iter
             (fun v ->
               if not (component_var_ok c v) then
-                report where
+                report ~code:"SKT002" where
                   (Printf.sprintf "condition references unknown variable %s" v))
             (Expr.cond_vars cond))
         c.conditions;
       List.iter
         (fun (iface, prop, e) ->
           if not (List.mem iface c.provides) then
-            report where
+            report ~code:"SKT004" where
               (Printf.sprintf "effect targets %s which is not provided" iface);
           (match Model.find_iface app iface with
           | Some i when Model.find_property i prop = None ->
-              report where
+              report ~code:"SKT004" where
                 (Printf.sprintf "effect targets unknown property %s.%s" iface prop)
           | _ -> ());
           check_vars "effect" e;
@@ -151,7 +162,7 @@ let check topo (app : Model.app) =
               match Expr.monotonicity e v with
               | Expr.Increasing | Expr.Constant | Expr.Decreasing -> ()
               | Expr.Unknown ->
-                  report where
+                  report ~code:"SKT003" where
                     (Printf.sprintf "effect for %s.%s is not provably monotone in %s"
                        iface prop v))
             (Expr.vars e))
@@ -169,14 +180,15 @@ let check topo (app : Model.app) =
                        String.equal fi iface && String.equal fp primary)
                      c.effects)
               then
-                report where
+                report ~code:"SKT004" where
                   (Printf.sprintf "provides %s but never sets %s.%s" iface iface primary)
           | None -> ())
         c.provides;
       List.iter
         (fun (r, e) ->
           if not (List.mem r node_resources) then
-            report where (Printf.sprintf "consumes unknown node resource %s" r);
+            report ~code:"SKT004" where
+              (Printf.sprintf "consumes unknown node resource %s" r);
           check_vars "consumption" e)
         c.consumes;
       check_vars "cost" c.place_cost)
@@ -186,29 +198,37 @@ let check topo (app : Model.app) =
   List.iter
     (fun (comp, node) ->
       if Model.find_component app comp = None then
-        report "pre_placed" (Printf.sprintf "unknown component %s" comp);
+        report ~code:"SKT005" "pre_placed" (Printf.sprintf "unknown component %s" comp);
       if node < 0 || node >= n then
-        report "pre_placed" (Printf.sprintf "node %d out of range" node))
+        report ~code:"SKT005" "pre_placed" (Printf.sprintf "node %d out of range" node))
     app.pre_placed;
   List.iter
     (fun g ->
       match g with
       | Model.Placed (comp, node) ->
           if Model.find_component app comp = None then
-            report "goal" (Printf.sprintf "unknown component %s" comp);
+            report ~code:"SKT005" "goal" (Printf.sprintf "unknown component %s" comp);
           if node < 0 || node >= n then
-            report "goal" (Printf.sprintf "node %d out of range" node)
+            report ~code:"SKT005" "goal" (Printf.sprintf "node %d out of range" node)
       | Model.Available (iface, prop, node, _) ->
           (match Model.find_iface app iface with
-          | None -> report "goal" (Printf.sprintf "unknown interface %s" iface)
+          | None ->
+              report ~code:"SKT005" "goal" (Printf.sprintf "unknown interface %s" iface)
           | Some i ->
               if Model.find_property i prop = None then
-                report "goal" (Printf.sprintf "unknown property %s.%s" iface prop));
+                report ~code:"SKT005" "goal"
+                  (Printf.sprintf "unknown property %s.%s" iface prop));
           if node < 0 || node >= n then
-            report "goal" (Printf.sprintf "node %d out of range" node))
+            report ~code:"SKT005" "goal" (Printf.sprintf "node %d out of range" node))
     app.goals;
-  if app.goals = [] then report "goal" "no goals";
-  List.rev !issues
+  if app.goals = [] then report ~code:"SKT006" "goal" "no goals";
+  List.rev !diags
+
+(* Historical API: the diagnostic's loc/message pair, codes dropped. *)
+let check topo app =
+  List.map
+    (fun (d : D.t) -> { where = d.D.loc; what = d.D.message })
+    (check_diagnostics topo app)
 
 let check_exn topo app =
   match check topo app with

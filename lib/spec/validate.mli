@@ -9,7 +9,16 @@ type issue = { where : string; what : string }
 
 val pp_issue : Format.formatter -> issue -> unit
 
-(** Full check of an application against a topology; empty list = valid. *)
+(** Full check of an application against a topology; empty list = valid.
+    Diagnostics accumulate — one pass reports every problem, not just the
+    first — carrying the [SKT0xx] codes from {!Sekitei_util.Diagnostic}
+    (all at [Error] severity: an invalid spec never reaches the
+    compiler). *)
+val check_diagnostics :
+  Sekitei_network.Topology.t -> Model.app -> Sekitei_util.Diagnostic.t list
+
+(** {!check_diagnostics} flattened to the historical [where]/[what]
+    pairs (codes dropped). *)
 val check : Sekitei_network.Topology.t -> Model.app -> issue list
 
 (** [check_exn topo app] raises [Invalid_argument] with a readable summary

@@ -133,7 +133,7 @@ let parse_string st =
                    if pos + 4 > String.length st.src then
                      raise (Parse_error "truncated \\u escape");
                    try int_of_string ("0x" ^ String.sub st.src pos 4)
-                   with _ -> raise (Parse_error "bad \\u escape")
+                   with Failure _ -> raise (Parse_error "bad \\u escape")
                  in
                  let code = read_hex (st.pos + 1) in
                  st.pos <- st.pos + 4;

@@ -1,0 +1,57 @@
+Static preflight analysis over a feasible spec: clean report, exit 0.
+
+  $ sekitei check --spec ../examples/specs/video.spec
+  33 leveled action(s); pruned 2 dead
+  0 error(s), 0 warning(s)
+
+The capacity-starved diamond is proven infeasible without any RG
+search: grounding filters every Encode placement, the PLRG relaxation
+never reaches the goal, and the command exits 2.
+
+  $ sekitei check --spec ../examples/specs/infeasible.spec
+  error[SKT106] goal placed(Viewer,dst): no resource-feasible leveled placement of the goal component on its goal node survives grounding (placements_elsewhere=false)
+  error[SKT105] goal placed(Viewer,dst): unreachable in the PLRG relaxation: no admissible support chain from the initial state
+  warning[SKT102] component Encode: no resource-feasible leveled placement on any node survives grounding (demand exceeds every capacity at every level)
+  16 leveled action(s); pruned 32 dead
+  2 error(s), 1 warning(s)
+  [2]
+
+The same report as machine-readable JSON (same exit code):
+
+  $ sekitei check --spec ../examples/specs/infeasible.spec --format json
+  {"actions": 16, "pruned_actions": 32, "errors": 2, "warnings": 1, "diagnostics": [{"severity": "error", "code": "SKT106", "loc": "goal placed(Viewer,dst)", "message": "no resource-feasible leveled placement of the goal component on its goal node survives grounding", "evidence": {"placements_elsewhere": "false"}}, {"severity": "error", "code": "SKT105", "loc": "goal placed(Viewer,dst)", "message": "unreachable in the PLRG relaxation: no admissible support chain from the initial state", "evidence": {}}, {"severity": "warning", "code": "SKT102", "loc": "component Encode", "message": "no resource-feasible leveled placement on any node survives grounding (demand exceeds every capacity at every level)", "evidence": {}}]}
+  [2]
+
+Built-in scenarios work too:
+
+  $ sekitei check --network tiny --levels C
+  48 leveled action(s); pruned 0 dead
+  0 error(s), 0 warning(s)
+
+Specification errors surface as SKT0xx diagnostics before compilation:
+
+  $ cat > broken.spec << 'EOF'
+  > interface M {
+  >   property ibw degradable;
+  >   levels ibw: 10, 20;
+  > }
+  > component A {
+  >   provides M;
+  >   effect M.ibw := nosuchvar * 2;
+  > }
+  > network {
+  >   node n0 cpu 10;
+  > }
+  > deploy {
+  > }
+  > EOF
+  $ sekitei check --spec broken.spec
+  error[SKT002] component A: effect references unknown variable nosuchvar
+  error[SKT006] goal: no goals
+  2 error(s), 0 warning(s)
+  [2]
+
+Plans emitted with --verify pass the independent certifier:
+
+  $ sekitei plan --spec spec.file --verify | tail -1
+  plan independently certified

@@ -24,6 +24,7 @@ let () =
       ("extensions", Test_extensions.suite);
       ("telemetry", Test_telemetry.suite);
       ("metrics", Test_metrics.suite);
+      ("analysis", Test_analysis.suite);
       ("tools", Test_tools.suite);
       ("integration", Test_integration_extra.suite);
       ("properties", Test_qcheck.suite);

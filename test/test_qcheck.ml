@@ -765,6 +765,143 @@ let prop_propagation_wellformed =
           increasing derived && List.for_all (fun c -> c > 0.) derived)
         (Leveling.iface_cutpoints l))
 
+(* ---------------- certification and pruning ---------------- *)
+
+module Certify = Sekitei_analysis.Certify
+module D = Sekitei_util.Diagnostic
+module Action = Sekitei_core.Action
+
+let plan_of inst =
+  let topo, app, leveling = media_line_instance inst in
+  let config =
+    { Planner.default_config with Planner.rg_max_expansions = 5_000 }
+  in
+  let pb = Compile.compile topo app leveling in
+  match (Planner.plan (Planner.request ~config topo app ~leveling)).Planner.result with
+  | Ok p -> Some (pb, p)
+  | Error _ -> None
+
+(* Every plan the planner emits passes the independent certifier. *)
+let prop_plans_certify =
+  Q.Test.make ~count:25 ~name:"emitted plans certify clean" arb_instance
+    (fun inst ->
+      match plan_of inst with
+      | None -> true
+      | Some (pb, p) -> Certify.check pb p = [])
+
+let first_code pb p =
+  match Certify.check pb p with
+  | [] -> None
+  | d :: _ -> Some d.D.code
+
+(* Doctored plans are rejected, each with the matching SKT code: a
+   reversed plan breaks a precondition, a shifted input level cannot be
+   met by any stream, a bumped per-action bound disagrees with the
+   specification's cost formula, and a rerouted crossing names a link
+   that does not join its endpoints. *)
+let prop_mutations_rejected =
+  Q.Test.make ~count:25 ~name:"mutated plans are rejected" arb_instance
+    (fun inst ->
+      match plan_of inst with
+      | None -> true
+      | Some (pb, p) ->
+          let reversed_ok =
+            List.length p.Plan.steps < 2
+            || first_code pb { p with Plan.steps = List.rev p.Plan.steps }
+               = Some "SKT201"
+          in
+          let shifted =
+            List.map
+              (fun (a : Action.t) ->
+                {
+                  a with
+                  Action.in_levels =
+                    Array.map
+                      (fun (i, ivl) ->
+                        (i, I.make (I.lo ivl +. 1000.) (I.hi ivl +. 1000.)))
+                      a.Action.in_levels;
+                })
+              p.Plan.steps
+          in
+          let level_ok =
+            List.for_all
+              (fun (a : Action.t) -> Array.length a.Action.in_levels = 0)
+              p.Plan.steps
+            || first_code pb { p with Plan.steps = shifted } = Some "SKT202"
+          in
+          let bumped =
+            match p.Plan.steps with
+            | a :: rest ->
+                { a with Action.cost_lb = a.Action.cost_lb +. 1. } :: rest
+            | [] -> []
+          in
+          let cost_ok =
+            p.Plan.steps = []
+            || first_code pb { p with Plan.steps = bumped } = Some "SKT207"
+          in
+          let rerouted =
+            List.map
+              (fun (a : Action.t) ->
+                match a.Action.kind with
+                | Action.Cross { iface; link; src; dst } ->
+                    {
+                      a with
+                      Action.kind =
+                        Action.Cross { iface; link = 1 - link; src; dst };
+                    }
+                | Action.Place _ -> a)
+              p.Plan.steps
+          in
+          let reroute_ok =
+            List.for_all
+              (fun (a : Action.t) ->
+                match a.Action.kind with
+                | Action.Cross _ -> false
+                | Action.Place _ -> true)
+              p.Plan.steps
+            || first_code pb { p with Plan.steps = rerouted } = Some "SKT208"
+          in
+          reversed_ok && level_ok && cost_ok && reroute_ok)
+
+(* Dead-action pruning is invisible to the search: an instance whose
+   leveling carries a cutpoint above the achievable maximum (the media
+   server supplies 200) prunes the unreachable levels, and the RG run
+   over the pruned problem returns bit-for-bit the plan of the unpruned
+   one — same labels, same cost bound, same realized cost. *)
+let prop_prune_bit_identical =
+  Q.Test.make ~count:15 ~name:"pruning leaves plans bit-identical"
+    arb_instance
+    (fun inst ->
+      let bw1, bw2, cpu, demand = inst in
+      let topo, app, _ = media_line_instance (bw1, bw2, cpu, demand) in
+      let leveling =
+        Leveling.propagate app
+          (Leveling.with_iface Leveling.empty "M" "ibw"
+             [ demand; demand +. 10.; 150.; 250. ])
+      in
+      let pruned = Compile.compile ~prune:true topo app leveling in
+      let unpruned = Compile.compile ~prune:false topo app leveling in
+      let search pb =
+        let plrg = Plrg.build pb in
+        let slrg = Slrg.create pb plrg in
+        Rg.search ~max_expansions:5_000 pb plrg slrg
+      in
+      pruned.Problem.pruned_actions > 0
+      &&
+      match (search pruned, search unpruned) with
+      | (Rg.Solution (t1, m1, c1), _), (Rg.Solution (t2, m2, c2), _) ->
+          List.map (fun (a : Action.t) -> a.Action.label) t1
+          = List.map (fun (a : Action.t) -> a.Action.label) t2
+          && Float.equal c1 c2
+          && Float.equal m1.Replay.realized_cost m2.Replay.realized_cost
+      | (Rg.Exhausted, _), (Rg.Exhausted, _) -> true
+      | ( (Rg.Budget_exceeded { best_f = f1; _ }, _),
+          (Rg.Budget_exceeded { best_f = f2; _ }, _) ) ->
+          (* Neither search finished inside the budget: pruning must not
+             have changed the admissible bound either. *)
+          Float.equal f1 f2
+      | _ -> false)
+
 let to_alcotest = List.map QCheck_alcotest.to_alcotest
 
 let suite =
@@ -794,4 +931,7 @@ let suite =
       prop_link_identity_stable;
       prop_plan_ids_stable;
       prop_propagation_wellformed;
+      prop_plans_certify;
+      prop_mutations_rejected;
+      prop_prune_bit_identical;
     ]
